@@ -1,0 +1,95 @@
+// Ablation (§3.3): dense block format vs sparse key-value format. The
+// paper's break-even analysis says the KV format wins when a block carries
+// more than bs*c_v/(c_i+c_v) zeros (half, with 4-byte keys and values) —
+// i.e., when density *within* non-zero blocks drops below 50%. We sweep
+// within-block density at fixed block sparsity and also show the effect of
+// sharding Algorithm 3 across aggregators (stream parallelism).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "core/sparse_kv.h"
+#include "sim/rng.h"
+#include "tensor/coo.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+constexpr std::size_t kWorkers = 4;
+
+/// Tensors with 90% block sparsity where each non-zero block holds
+/// `within` fraction of non-zero elements, identical positions across
+/// workers (the regime where the formats differ most cleanly).
+std::vector<tensor::DenseTensor> make(std::size_t n, double within,
+                                      std::uint64_t seed) {
+  sim::Rng rng(seed);
+  auto ts = tensor::make_multi_worker(kWorkers, n, 256, 0.9,
+                                      tensor::OverlapMode::kAll, rng);
+  // Thin the interior of non-zero blocks to the requested density.
+  for (auto& t : ts) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i] != 0.0f && rng.next_double() > within) t[i] = 0.0f;
+    }
+  }
+  return ts;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 1 << 22;  // 16 MB
+  bench::banner("Ablation (3.3)",
+                "Dense block format vs sparse key-value format");
+  std::printf("16 MB tensors, 4 workers, 100 Gbps, 90%% block sparsity;\n"
+              "break-even predicted at 50%% density within blocks\n\n");
+  bench::row({"within-density", "block[ms]", "kv[ms]", "kv wins"});
+  for (double within : {1.0, 0.8, 0.6, 0.5, 0.4, 0.25, 0.1, 0.05}) {
+    auto dense_in = make(n, within, 1);
+    core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
+    core::FabricConfig fabric;
+    fabric.worker_bandwidth_bps = 100e9;
+    fabric.aggregator_bandwidth_bps = 100e9;
+    device::DeviceModel dev;
+    dev.gdr = true;
+    const double block_ms = sim::to_milliseconds(
+        core::run_allreduce(dense_in, cfg, fabric,
+                            core::Deployment::kDedicated, kWorkers, dev,
+                            /*verify=*/false)
+            .completion_time);
+
+    auto kv_src = make(n, within, 1);
+    std::vector<tensor::CooTensor> coo;
+    for (const auto& t : kv_src) coo.push_back(tensor::dense_to_coo(t));
+    const double kv_ms = sim::to_milliseconds(
+        core::run_sparse_allreduce(coo, fabric, 2048, 64, 64)
+            .completion_time);
+    bench::row({bench::fmt_pct(within, 0), bench::fmt(block_ms),
+                bench::fmt(kv_ms), kv_ms < block_ms ? "yes" : "no"});
+  }
+
+  std::printf("\n--- Algorithm 3 sharding (stream parallelism), 25%% "
+              "within-density ---\n");
+  bench::row({"aggregators", "kv[ms]"});
+  for (std::size_t aggs : {1u, 4u, 16u, 64u, 256u}) {
+    auto kv_src = make(n, 0.25, 2);
+    std::vector<tensor::CooTensor> coo;
+    for (const auto& t : kv_src) coo.push_back(tensor::dense_to_coo(t));
+    core::FabricConfig fabric;
+    fabric.worker_bandwidth_bps = 100e9;
+    fabric.aggregator_bandwidth_bps = 100e9;
+    bench::row({std::to_string(aggs),
+                bench::fmt(sim::to_milliseconds(
+                    core::run_sparse_allreduce(coo, fabric, 2048, 64, aggs)
+                        .completion_time))});
+  }
+  std::printf(
+      "\nShape check: the dense block format wins at high within-block\n"
+      "density (no index overhead) and the KV format at low density; the\n"
+      "pure-bandwidth break-even is 50%%, shifted lower here because the\n"
+      "block path's fixed per-round costs dominate at this tensor size.\n"
+      "Sharding the key space gives Algorithm 3 the pipelining the block\n"
+      "engine gets from slots.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 4: time to complete AllReduce on 100 MB tensors — OmniReduce at
+// sparsity {0, 60, 90, 99}% vs NCCL ring, for DPDK @10 Gbps and RDMA / GDR
+// @100 Gbps, workers in {2, 4, 8}. Dashed reference: optimal ring time at
+// line rate.
+#include <cstdio>
+
+#include "baselines/ring.h"
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "perfmodel/perfmodel.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+struct Setup {
+  const char* name;
+  core::Transport transport;
+  double bandwidth;
+  bool gdr;
+  double loss;
+};
+
+double run_omni(const Setup& s, std::size_t workers, double sparsity,
+                std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  auto tensors = tensor::make_multi_worker(workers, n, 256, sparsity,
+                                           tensor::OverlapMode::kRandom, rng);
+  core::RunStats st = core::run_allreduce_simple(tensors, s.transport,
+                                                 s.bandwidth, s.gdr, s.loss,
+                                                 seed);
+  return sim::to_milliseconds(st.completion_time);
+}
+
+double run_nccl(double bandwidth, std::size_t workers, std::size_t n,
+                std::uint64_t seed) {
+  sim::Rng rng(seed);
+  auto tensors = tensor::make_multi_worker(workers, n, 256, 0.0,
+                                           tensor::OverlapMode::kRandom, rng);
+  baselines::BaselineConfig cfg;
+  cfg.bandwidth_bps = bandwidth;
+  cfg.seed = seed;
+  return sim::to_milliseconds(
+      baselines::ring_allreduce(tensors, cfg, /*verify=*/false)
+          .completion_time);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::micro_tensor_elements();
+  bench::banner("Figure 4", "AllReduce completion time on 100 MB tensors");
+  std::printf("tensor: %.1f MB, block size 256, random overlap\n",
+              n * 4.0 / 1e6);
+
+  const Setup setups[] = {
+      {"DPDK   @ 10 Gbps", core::Transport::kDpdk, 10e9, false, 0.0},
+      {"RDMA   @100 Gbps", core::Transport::kRdma, 100e9, false, 0.0},
+      {"GDR    @100 Gbps", core::Transport::kRdma, 100e9, true, 0.0},
+  };
+  for (const Setup& s : setups) {
+    std::printf("\n--- %s ---\n", s.name);
+    bench::row({"workers", "NCCL[ms]", "O,0%[ms]", "O,60%[ms]", "O,90%[ms]",
+                "O,99%[ms]", "ring@line"});
+    for (std::size_t workers : {2u, 4u, 8u}) {
+      perfmodel::ModelParams mp;
+      mp.n_workers = workers;
+      mp.bandwidth_bps = s.bandwidth;
+      mp.tensor_bytes = static_cast<double>(n) * 4.0;
+      mp.alpha_s = 10e-6;
+      bench::row({std::to_string(workers),
+                  bench::fmt(run_nccl(s.bandwidth, workers, n, 1)),
+                  bench::fmt(run_omni(s, workers, 0.0, n, 2)),
+                  bench::fmt(run_omni(s, workers, 0.6, n, 3)),
+                  bench::fmt(run_omni(s, workers, 0.9, n, 4)),
+                  bench::fmt(run_omni(s, workers, 0.99, n, 5)),
+                  bench::fmt(perfmodel::t_ring(mp) * 1e3)});
+    }
+  }
+  std::printf(
+      "\nPaper shape check: O always beats NCCL from 60%% sparsity; dense O\n"
+      "with 2 workers is not faster than NCCL; RDMA flattens beyond ~90%%\n"
+      "sparsity (PCIe staging floor) while GDR keeps improving.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Fig. 6: OmniReduce vs sparse AllReduce methods at 10 Gbps, 8 workers —
+// speedup over dense NCCL ring as sparsity varies. Format conversion costs
+// excluded (Fig. 8 covers them).
+#include <cstdio>
+
+#include "baselines/agsparse.h"
+#include "baselines/parameter_server.h"
+#include "baselines/ring.h"
+#include "baselines/sparcml.h"
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "sim/rng.h"
+#include "tensor/coo.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+constexpr double kBw = 10e9;
+constexpr std::size_t kWorkers = 8;
+
+std::vector<tensor::DenseTensor> make(std::size_t n, double s,
+                                      std::uint64_t seed) {
+  sim::Rng rng(seed);
+  return tensor::make_multi_worker(kWorkers, n, 256, s,
+                                   tensor::OverlapMode::kRandom, rng);
+}
+
+std::vector<tensor::CooTensor> to_coo(
+    const std::vector<tensor::DenseTensor>& dense) {
+  std::vector<tensor::CooTensor> coo;
+  coo.reserve(dense.size());
+  for (const auto& t : dense) coo.push_back(tensor::dense_to_coo(t));
+  return coo;
+}
+
+baselines::BaselineConfig bcfg(std::uint64_t seed) {
+  baselines::BaselineConfig cfg;
+  cfg.bandwidth_bps = kBw;
+  cfg.seed = seed;
+  return cfg;
+}
+
+double omni(std::size_t n, double s, core::Transport t, core::Deployment dep,
+            std::uint64_t seed) {
+  auto ts = make(n, s, seed);
+  core::Config cfg = core::Config::for_transport(t);
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = kBw;
+  fabric.aggregator_bandwidth_bps = kBw;
+  fabric.seed = seed;
+  device::DeviceModel dev;  // 10 Gbps: PCIe never binds
+  return sim::to_seconds(core::run_allreduce(ts, cfg, fabric, dep, kWorkers,
+                                             dev, /*verify=*/false)
+                             .completion_time);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::micro_tensor_elements();
+  bench::banner("Figure 6",
+                "Sparse AllReduce methods at 10 Gbps, 8 workers "
+                "(speedup vs dense NCCL)");
+  std::printf("tensor: %.1f MB, random overlap\n", n * 4.0 / 1e6);
+  bench::row({"sparsity", "O-RDMA", "O-RDMA(Co)", "O-DPDK", "SSAR", "DSAR",
+              "AGsp(N)", "AGsp(G)", "Parallax"});
+  for (double s : {0.0, 0.2, 0.6, 0.8, 0.9, 0.92, 0.96, 0.98, 0.99}) {
+    auto dense = make(n, s, 1);
+    auto ring_copy = dense;
+    const double base = sim::to_seconds(
+        baselines::ring_allreduce(ring_copy, bcfg(1), false).completion_time);
+    const auto coo = to_coo(dense);
+
+    tensor::CooTensor out;
+    const double ssar = sim::to_seconds(
+        baselines::sparcml_allreduce(coo, out, bcfg(2),
+                                     baselines::SparcmlVariant::kSsarSplitAllgather)
+            .completion_time);
+    const double dsar = sim::to_seconds(
+        baselines::sparcml_allreduce(coo, out, bcfg(3),
+                                     baselines::SparcmlVariant::kDsarSplitAllgather)
+            .completion_time);
+    std::vector<tensor::CooTensor> outs;
+    const double ag_nccl = sim::to_seconds(
+        baselines::agsparse_allreduce(coo, outs, bcfg(4),
+                                      baselines::AgStack::kNccl)
+            .completion_time);
+    const double ag_gloo = sim::to_seconds(
+        baselines::agsparse_allreduce(coo, outs, bcfg(5),
+                                      baselines::AgStack::kGloo)
+            .completion_time);
+    const double parallax = sim::to_seconds(
+        baselines::parallax_allreduce(dense, bcfg(6)).completion_time);
+
+    bench::row({bench::fmt_pct(s, 0),
+                bench::fmt(base / omni(n, s, core::Transport::kRdma,
+                                       core::Deployment::kDedicated, 7), 2),
+                bench::fmt(base / omni(n, s, core::Transport::kRdma,
+                                       core::Deployment::kColocated, 8), 2),
+                bench::fmt(base / omni(n, s, core::Transport::kDpdk,
+                                       core::Deployment::kDedicated, 9), 2),
+                bench::fmt(base / ssar, 2), bench::fmt(base / dsar, 2),
+                bench::fmt(base / ag_nccl, 2), bench::fmt(base / ag_gloo, 2),
+                bench::fmt(base / parallax, 2)});
+  }
+  std::printf(
+      "\nPaper shape check: OmniReduce >= 1.5x at every sparsity and the\n"
+      "only method above 1x below 90%% sparsity; SparCML needs >90%%,\n"
+      "AGsparse >98%%, Parallax ~99%% to break even.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 7: scalability of sparse AllReduce methods — speedup over dense
+// NCCL as the worker count grows, at four sparsity levels (10 Gbps).
+#include <cstdio>
+
+#include "baselines/agsparse.h"
+#include "baselines/parameter_server.h"
+#include "baselines/ring.h"
+#include "baselines/sparcml.h"
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "sim/rng.h"
+#include "tensor/coo.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+constexpr double kBw = 10e9;
+
+std::vector<tensor::DenseTensor> make(std::size_t workers, std::size_t n,
+                                      double s, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  return tensor::make_multi_worker(workers, n, 256, s,
+                                   tensor::OverlapMode::kRandom, rng);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::micro_tensor_elements();
+  bench::banner("Figure 7",
+                "Sparse method scalability (speedup vs dense NCCL, 10 Gbps)");
+  for (double s : {0.0, 0.6, 0.8, 0.96}) {
+    std::printf("\n--- sparsity %.0f%% ---\n", s * 100);
+    bench::row({"workers", "OmniReduce", "SSAR", "DSAR", "AGsp(N)",
+                "AGsp(G)", "Parallax"});
+    for (std::size_t workers : {2u, 4u, 8u}) {
+      auto dense = make(workers, n, s, workers);
+      auto ring_copy = dense;
+      baselines::BaselineConfig bc;
+      bc.bandwidth_bps = kBw;
+      const double base = sim::to_seconds(
+          baselines::ring_allreduce(ring_copy, bc, false).completion_time);
+
+      std::vector<tensor::CooTensor> coo;
+      for (const auto& t : dense) coo.push_back(tensor::dense_to_coo(t));
+      tensor::CooTensor out;
+      const double ssar = sim::to_seconds(
+          baselines::sparcml_allreduce(
+              coo, out, bc, baselines::SparcmlVariant::kSsarSplitAllgather)
+              .completion_time);
+      const double dsar = sim::to_seconds(
+          baselines::sparcml_allreduce(
+              coo, out, bc, baselines::SparcmlVariant::kDsarSplitAllgather)
+              .completion_time);
+      std::vector<tensor::CooTensor> outs;
+      const double agn = sim::to_seconds(
+          baselines::agsparse_allreduce(coo, outs, bc,
+                                        baselines::AgStack::kNccl)
+              .completion_time);
+      const double agg = sim::to_seconds(
+          baselines::agsparse_allreduce(coo, outs, bc,
+                                        baselines::AgStack::kGloo)
+              .completion_time);
+      const double parallax = sim::to_seconds(
+          baselines::parallax_allreduce(dense, bc).completion_time);
+
+      core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
+      core::FabricConfig fabric;
+      fabric.worker_bandwidth_bps = kBw;
+      fabric.aggregator_bandwidth_bps = kBw;
+      device::DeviceModel dev;
+      auto omni_ts = dense;
+      const double omni = sim::to_seconds(
+          core::run_allreduce(omni_ts, cfg, fabric,
+                              core::Deployment::kDedicated, workers, dev,
+                              false)
+              .completion_time);
+      bench::row({std::to_string(workers), bench::fmt(base / omni, 2),
+                  bench::fmt(base / ssar, 2), bench::fmt(base / dsar, 2),
+                  bench::fmt(base / agn, 2), bench::fmt(base / agg, 2),
+                  bench::fmt(base / parallax, 2)});
+    }
+  }
+  std::printf(
+      "\nPaper shape check: OmniReduce's dense speedup grows with workers\n"
+      "(2(N-1)/N); AGsparse speedup falls with workers; DSAR scales best\n"
+      "among SparCML variants; OmniReduce dominates everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 16: block sparsity (left) and density within non-zero blocks
+// (right) of the six workloads' gradients as the block size varies.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ddl/workloads.h"
+#include "sim/rng.h"
+#include "tensor/blocks.h"
+
+using namespace omr;
+
+int main() {
+  const std::size_t n = bench::e2e_sample_elements();
+  bench::banner("Figure 16",
+                "Block sparsity and density within block vs block size");
+  const std::size_t sizes[] = {1, 32, 64, 128, 256, 352};
+
+  std::printf("\n--- block sparsity [%%] ---\n");
+  bench::row({"model", "bs=1", "bs=32", "bs=64", "bs=128", "bs=256",
+              "bs=352"});
+  sim::Rng rng(1);
+  std::vector<tensor::DenseTensor> grads;
+  for (const auto& p : ddl::benchmark_workloads()) {
+    grads.push_back(ddl::sample_gradients(p, 1, n, rng)[0]);
+  }
+  const auto& profiles = ddl::benchmark_workloads();
+  for (std::size_t m = 0; m < profiles.size(); ++m) {
+    std::vector<std::string> cells{profiles[m].name};
+    for (std::size_t bs : sizes) {
+      cells.push_back(
+          bench::fmt(tensor::block_sparsity(grads[m], bs) * 100.0, 1));
+    }
+    bench::row(cells);
+  }
+
+  std::printf("\n--- density within non-zero blocks [%%] ---\n");
+  bench::row({"model", "bs=1", "bs=32", "bs=64", "bs=128", "bs=256",
+              "bs=352"});
+  for (std::size_t m = 0; m < profiles.size(); ++m) {
+    std::vector<std::string> cells{profiles[m].name};
+    for (std::size_t bs : sizes) {
+      cells.push_back(
+          bench::fmt(tensor::density_within_blocks(grads[m], bs) * 100.0, 1));
+    }
+    bench::row(cells);
+  }
+  std::printf(
+      "\nPaper shape check: embedding models keep high block sparsity at\n"
+      "packet-sized blocks and density-within-block falls only mildly;\n"
+      "VGG/ResNet block sparsity collapses to ~0 beyond tiny blocks.\n");
+  return 0;
+}

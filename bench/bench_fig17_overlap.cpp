@@ -1,0 +1,59 @@
+// Fig. 17: effect of non-zero block overlap among workers on OmniReduce —
+// no overlap vs random vs full overlap, across worker counts and sparsity.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+double run_ms(std::size_t workers, std::size_t n, double s,
+              tensor::OverlapMode mode, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<tensor::DenseTensor> ts;
+  try {
+    ts = tensor::make_multi_worker(workers, n, 256, s, mode, rng);
+  } catch (const std::invalid_argument&) {
+    return -1.0;  // no-overlap infeasible at this sparsity/worker count
+  }
+  core::Config cfg = core::Config::for_transport(core::Transport::kDpdk);
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = 10e9;
+  fabric.aggregator_bandwidth_bps = 10e9;
+  fabric.seed = seed;
+  device::DeviceModel dev;
+  return sim::to_milliseconds(
+      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated,
+                          workers, dev, /*verify=*/false)
+          .completion_time);
+}
+
+std::string cell(double v) { return v < 0 ? "n/a" : bench::fmt(v); }
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::micro_tensor_elements();
+  bench::banner("Figure 17",
+                "Effect of non-zero block overlap (10 Gbps, ms)");
+  std::printf("tensor: %.1f MB\n", n * 4.0 / 1e6);
+  for (double s : {0.0, 0.9, 0.96, 0.99}) {
+    std::printf("\n--- sparsity %.0f%% ---\n", s * 100);
+    bench::row({"workers", "random", "none", "all"});
+    for (std::size_t workers : {2u, 4u, 8u}) {
+      bench::row({std::to_string(workers),
+                  cell(run_ms(workers, n, s, tensor::OverlapMode::kRandom, 1)),
+                  cell(run_ms(workers, n, s, tensor::OverlapMode::kNone, 2)),
+                  cell(run_ms(workers, n, s, tensor::OverlapMode::kAll, 3))});
+    }
+  }
+  std::printf(
+      "\nPaper shape check: overlap barely matters at 0%% or >95%% sparsity;\n"
+      "in the 60-90%% band full overlap is clearly fastest because the\n"
+      "union of non-zero positions (the round count) stays small.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 18: in-network (P4 / Tofino) aggregator vs server-based aggregator,
+// speedup over dense NCCL as sparsity varies (10 Gbps, 8 workers), for
+// block sizes 34 and 256.
+#include <cstdio>
+
+#include "baselines/ring.h"
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "innet/p4_aggregator.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+constexpr double kBw = 10e9;
+
+std::vector<tensor::DenseTensor> make(std::size_t n, std::size_t bs, double s,
+                                      std::uint64_t seed) {
+  sim::Rng rng(seed);
+  return tensor::make_multi_worker(kWorkers, n, bs, s,
+                                   tensor::OverlapMode::kRandom, rng);
+}
+
+double p4_s(std::size_t n, std::size_t bs, double s, std::uint64_t seed) {
+  auto ts = make(n, bs, s, seed);
+  innet::P4Config cfg;
+  cfg.block_size = bs;
+  cfg.worker_bandwidth_bps = kBw;
+  cfg.seed = seed;
+  return sim::to_seconds(
+      innet::run_allreduce_innet(ts, cfg).completion_time);
+}
+
+double server_s(std::size_t n, double s, std::uint64_t seed) {
+  auto ts = make(n, 256, s, seed);
+  core::Config cfg = core::Config::for_transport(core::Transport::kDpdk);
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = kBw;
+  fabric.aggregator_bandwidth_bps = kBw;
+  fabric.seed = seed;
+  device::DeviceModel dev;
+  return sim::to_seconds(
+      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated,
+                          kWorkers, dev, /*verify=*/false)
+          .completion_time);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::micro_tensor_elements();
+  bench::banner("Figure 18",
+                "P4 in-network vs server aggregator (speedup vs NCCL)");
+  std::printf("tensor: %.1f MB, 8 workers, 10 Gbps\n", n * 4.0 / 1e6);
+  bench::row({"sparsity", "P4(34)", "P4(256)", "Server", "NCCL"});
+  for (double s : {0.0, 0.2, 0.6, 0.8, 0.9, 0.92, 0.96, 0.98, 0.99}) {
+    auto ring_copy = make(n, 256, s, 1);
+    baselines::BaselineConfig bc;
+    bc.bandwidth_bps = kBw;
+    const double base = sim::to_seconds(
+        baselines::ring_allreduce(ring_copy, bc, false).completion_time);
+    bench::row({bench::fmt_pct(s, 0),
+                bench::fmt(base / p4_s(n, 34, s, 2), 2),
+                bench::fmt(base / p4_s(n, 256, s, 3), 2),
+                bench::fmt(base / server_s(n, s, 4), 2), "1.00"});
+  }
+  std::printf(
+      "\nPaper shape check: the P4 offload is slightly faster than the\n"
+      "server aggregator (hardware multicast removes the N-fold result\n"
+      "serialization); tiny (34-element) blocks cost wire efficiency.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 20: cost of the non-zero-block bitmap computation on a 100 MB float
+// tensor as the block size varies, against the NCCL-with-GDR AllReduce
+// time for the same tensor (the reference line in the figure).
+#include <cstdio>
+
+#include "baselines/ring.h"
+#include "bench/bench_util.h"
+#include "device/device_model.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+int main() {
+  const std::size_t n = bench::micro_tensor_elements();
+  bench::banner("Figure 20", "Bitmap calculation cost vs block size");
+  std::printf("tensor: %.1f MB (V100 device model)\n", n * 4.0 / 1e6);
+
+  // Reference: NCCL w/ GDR AllReduce on the same tensor (8 workers,
+  // 100 Gbps).
+  sim::Rng rng(1);
+  auto ts = tensor::make_multi_worker(8, n, 256, 0.0,
+                                      tensor::OverlapMode::kRandom, rng);
+  baselines::BaselineConfig bc;
+  bc.bandwidth_bps = 100e9;
+  const double nccl_ms = sim::to_milliseconds(
+      baselines::ring_allreduce(ts, bc, false).completion_time);
+
+  device::DeviceModel dev;
+  bench::row({"block size", "bitmap[ms]", "NCCL+GDR[ms]"});
+  for (std::size_t bs : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    bench::row({std::to_string(bs),
+                bench::fmt(sim::to_milliseconds(dev.bitmap_cost(n, bs))),
+                bench::fmt(nccl_ms)});
+  }
+  std::printf(
+      "\nPaper shape check: the bitmap kernel is expensive for block sizes\n"
+      "below ~4 and negligible (well under the AllReduce itself) from 16\n"
+      "elements up — why OmniReduce only uses bs >= 16 (§B.1).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 21 (Appendix D): AllReduce time increase under packet loss.
+// DPDK-based OmniReduce retransmits selectively (Algorithm 2); Gloo and
+// NCCL-over-TCP suffer TCP congestion collapse, modelled with the Mathis
+// throughput bound.
+#include <cstdio>
+
+#include "baselines/ring.h"
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "net/tcp_model.h"
+#include "perfmodel/perfmodel.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+constexpr double kBw = 10e9;
+constexpr std::size_t kWorkers = 8;
+
+double omni_ms(std::size_t n, double sparsity, double loss,
+               std::uint64_t seed) {
+  sim::Rng rng(seed);
+  auto ts = tensor::make_multi_worker(kWorkers, n, 256, sparsity,
+                                      tensor::OverlapMode::kRandom, rng);
+  core::Config cfg = core::Config::for_transport(core::Transport::kDpdk);
+  cfg.retransmit_timeout = sim::microseconds(500);
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = kBw;
+  fabric.aggregator_bandwidth_bps = kBw;
+  fabric.loss_rate = loss;
+  fabric.seed = seed;
+  device::DeviceModel dev;
+  return sim::to_milliseconds(
+      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated,
+                          kWorkers, dev, /*verify=*/false)
+          .completion_time);
+}
+
+/// Ring AllReduce over a TCP stack whose goodput follows the Mathis bound.
+double tcp_ring_ms(std::size_t n, double loss, double efficiency) {
+  const double rtt = 4.0 * 10e-6 + 1500.0 * 8 / kBw;  // ~fabric RTT
+  const double goodput =
+      net::tcp_goodput_bps(kBw * efficiency, rtt, loss);
+  perfmodel::ModelParams p;
+  p.n_workers = kWorkers;
+  p.bandwidth_bps = goodput;
+  p.alpha_s = 10e-6;
+  p.tensor_bytes = static_cast<double>(n) * 4.0;
+  return perfmodel::t_ring(p) * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = bench::micro_tensor_elements();
+  bench::banner("Figure 21", "AllReduce time increase under packet loss");
+  std::printf("tensor: %.1f MB, 8 workers, 10 Gbps; cells are\n"
+              "time(loss) - time(no loss) in ms\n",
+              n * 4.0 / 1e6);
+  bench::row({"loss rate", "O(s=0%)", "O(s=90%)", "O(s=99%)", "Gloo",
+              "NCCL-TCP"});
+  const double o0 = omni_ms(n, 0.0, 0.0, 1);
+  const double o90 = omni_ms(n, 0.9, 0.0, 2);
+  const double o99 = omni_ms(n, 0.99, 0.0, 3);
+  const double gloo0 = tcp_ring_ms(n, 0.0, 0.8);  // Gloo: CPU-bound stack
+  const double nccl0 = tcp_ring_ms(n, 0.0, 0.95);
+  for (double loss : {0.0001, 0.001, 0.01}) {
+    bench::row({bench::fmt_pct(loss, 2),
+                bench::fmt(omni_ms(n, 0.0, loss, 4) - o0),
+                bench::fmt(omni_ms(n, 0.9, loss, 5) - o90),
+                bench::fmt(omni_ms(n, 0.99, loss, 6) - o99),
+                bench::fmt(tcp_ring_ms(n, loss, 0.8) - gloo0),
+                bench::fmt(tcp_ring_ms(n, loss, 0.95) - nccl0)});
+  }
+  std::printf(
+      "\nPaper shape check: OmniReduce's selective retransmission costs\n"
+      "only a few ms even at 1%% loss; TCP-based Gloo/NCCL degrade sharply\n"
+      "at 1%% (congestion control).\n");
+  return 0;
+}

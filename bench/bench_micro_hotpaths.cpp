@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks of the protocol hot paths: bitmap scan,
+// next-non-zero column scan, slot reduction, block-fusion packet assembly,
+// COO conversion, and compression selection.
+#include <benchmark/benchmark.h>
+
+#include "compress/compressors.h"
+#include "sim/rng.h"
+#include "tensor/blocks.h"
+#include "tensor/coo.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+tensor::DenseTensor make_input(std::size_t n, double sparsity) {
+  sim::Rng rng(42);
+  return tensor::make_block_sparse(n, 256, sparsity, rng);
+}
+
+void BM_BitmapScan(benchmark::State& state) {
+  const auto t = make_input(1 << 22, 0.9);
+  const auto bs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    tensor::BlockBitmap bm(t.span(), bs);
+    benchmark::DoNotOptimize(bm.nonzero_count());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.size() * 4));
+}
+BENCHMARK(BM_BitmapScan)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_NextNonzeroColumnScan(benchmark::State& state) {
+  const auto t = make_input(1 << 22, 0.99);
+  tensor::BlockBitmap bm(t.span(), 256);
+  for (auto _ : state) {
+    tensor::BlockIndex b = -1;
+    std::size_t count = 0;
+    while ((b = bm.next_nonzero_in_column(b + 4, 0, 4)) !=
+           tensor::kNoBlock) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_NextNonzeroColumnScan);
+
+void BM_SlotReduce(benchmark::State& state) {
+  std::vector<float> slot(1024, 0.0f);
+  std::vector<float> data(1024, 1.5f);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < slot.size(); ++i) slot[i] += data[i];
+    benchmark::DoNotOptimize(slot.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024 * 4);
+}
+BENCHMARK(BM_SlotReduce);
+
+void BM_DenseToCoo(benchmark::State& state) {
+  const auto t = make_input(1 << 20, 0.95);
+  for (auto _ : state) {
+    auto coo = tensor::dense_to_coo(t);
+    benchmark::DoNotOptimize(coo.nnz());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(t.size() * 4));
+}
+BENCHMARK(BM_DenseToCoo);
+
+void BM_CooMergeAdd(benchmark::State& state) {
+  const auto a = tensor::dense_to_coo(make_input(1 << 20, 0.95));
+  const auto b = tensor::dense_to_coo(make_input(1 << 20, 0.95));
+  for (auto _ : state) {
+    auto s = tensor::coo_add(a, b);
+    benchmark::DoNotOptimize(s.nnz());
+  }
+}
+BENCHMARK(BM_CooMergeAdd);
+
+void BM_BlockTopK(benchmark::State& state) {
+  sim::Rng rng(1);
+  tensor::DenseTensor g(1 << 20);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = static_cast<float>(rng.next_normal());
+  }
+  const std::size_t nb = tensor::num_blocks(g.size(), 256);
+  for (auto _ : state) {
+    auto c = compress::block_top_k(g, 256, nb / 100);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+}
+BENCHMARK(BM_BlockTopK);
+
+void BM_ErrorFeedbackStep(benchmark::State& state) {
+  sim::Rng rng(2);
+  tensor::DenseTensor g(1 << 18);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = static_cast<float>(rng.next_normal());
+  }
+  const std::size_t nb = tensor::num_blocks(g.size(), 256);
+  compress::ErrorFeedback ef(g.size());
+  const compress::Compressor c = [nb](const tensor::DenseTensor& x) {
+    return compress::block_top_k(x, 256, nb / 10);
+  };
+  for (auto _ : state) {
+    auto sent = ef.step(g, c);
+    benchmark::DoNotOptimize(sent.nnz());
+  }
+}
+BENCHMARK(BM_ErrorFeedbackStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 2: breakdown of OmniReduce communication (8 workers) by the number
+// of workers whose non-zero blocks overlap, for the six workloads plus
+// sBERT (BERT with 1% Block Top-k compression).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "compress/compressors.h"
+#include "ddl/metrics.h"
+#include "ddl/workloads.h"
+#include "sim/rng.h"
+#include "tensor/blocks.h"
+
+using namespace omr;
+
+int main() {
+  const std::size_t n = bench::e2e_sample_elements();
+  bench::banner("Table 2", "Communication breakdown by overlap (8 workers)");
+  bench::row({"overlap", "DeepLight", "LSTM", "NCF", "BERT", "VGG19",
+              "ResNet152", "sBERT"});
+
+  sim::Rng rng(1);
+  std::vector<std::vector<double>> columns;
+  for (const auto& p : ddl::benchmark_workloads()) {
+    auto grads = ddl::sample_gradients(p, 8, n, rng);
+    columns.push_back(ddl::overlap_breakdown(grads, 256));
+  }
+  // sBERT: BERT gradients compressed per worker with 1% Block Top-k. The
+  // per-worker selections differ, which drives overlap toward "none".
+  {
+    auto grads = ddl::sample_gradients(ddl::workload("BERT"), 8, n, rng);
+    const std::size_t nb = tensor::num_blocks(n, 256);
+    const std::size_t k =
+        std::max<std::size_t>(1, static_cast<std::size_t>(nb * 0.01));
+    sim::Rng jitter(7);
+    for (auto& g : grads) {
+      // Top-k on per-worker noisy magnitudes: workers disagree on the tail.
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        g[i] *= 1.0f + 0.5f * jitter.next_float(-1.0f, 1.0f);
+      }
+      g = compress::block_top_k(g, 256, k);
+    }
+    columns.push_back(ddl::overlap_breakdown(grads, 256));
+  }
+
+  const char* labels[8] = {"None", "2", "3", "4", "5", "6", "7", "All"};
+  for (std::size_t k = 0; k < 8; ++k) {
+    std::vector<std::string> cells{labels[k]};
+    for (const auto& col : columns) cells.push_back(bench::fmt_pct(col[k]));
+    bench::row(cells);
+  }
+  std::printf(
+      "\nPaper shape check: DeepLight communication is mostly unique\n"
+      "(None-dominated); LSTM and the dense models are All-dominated; NCF\n"
+      "is spread across overlap counts; sBERT concentrates at None.\n");
+  return 0;
+}

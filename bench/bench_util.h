@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace omr::bench {
+
+/// Tensor size for microbenchmarks, in elements. The paper uses 100 MB
+/// (26.2M floats); that is the default. Override with OMR_MB=<megabytes>
+/// for quicker runs — completion times scale linearly in the
+/// bandwidth-dominated regime, so the figures' shapes are unchanged.
+inline std::size_t micro_tensor_elements() {
+  const char* env = std::getenv("OMR_MB");
+  const double mb = env != nullptr ? std::atof(env) : 100.0;
+  return static_cast<std::size_t>(mb * 1e6 / 4.0);
+}
+
+/// Reduced sampling scale for end-to-end workload gradients (elements).
+inline std::size_t e2e_sample_elements() {
+  const char* env = std::getenv("OMR_E2E_MB");
+  const double mb = env != nullptr ? std::atof(env) : 16.0;
+  return static_cast<std::size_t>(mb * 1e6 / 4.0);
+}
+
+/// Print a header for one figure/table reproduction.
+inline void banner(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+/// Simple aligned row printer: first cell 24 chars, rest 12.
+inline void row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf(i == 0 ? "%-26s" : "%12s", cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_ms(sim::Time t) { return fmt(sim::to_milliseconds(t), 2); }
+
+inline std::string fmt_pct(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v * 100.0);
+  return buf;
+}
+
+}  // namespace omr::bench

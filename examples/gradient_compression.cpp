@@ -1,0 +1,52 @@
+// Scenario: a dense model (BERT-like) made sparse with block-based
+// gradient compression (§4). Runs the real distributed-SGD trainer with
+// Block Top-k + error feedback, showing that convergence is preserved
+// while the communicated volume drops ~100x.
+#include <cstdio>
+
+#include "compress/compressors.h"
+#include "ddl/trainer.h"
+#include "tensor/blocks.h"
+
+int main() {
+  using namespace omr;
+
+  ddl::TrainerConfig cfg;
+  cfg.n_workers = 8;
+  cfg.iterations = 300;
+  cfg.vocab = 4096;
+
+  // Uncompressed baseline.
+  const ddl::TrainResult base = ddl::train_distributed(cfg, std::nullopt);
+
+  // Block Top-k at 1% with error feedback.
+  const std::size_t bs = cfg.embed_dim * 4;
+  const std::size_t nb = tensor::num_blocks(ddl::model_dimension(cfg), bs);
+  const std::size_t k = std::max<std::size_t>(1, nb / 100);
+  ddl::CompressionSpec spec;
+  spec.name = "BlockTopK-1%";
+  spec.error_feedback = true;
+  spec.compressor = [bs, k](const tensor::DenseTensor& g) {
+    return compress::block_top_k(g, bs, k);
+  };
+  const ddl::TrainResult comp = ddl::train_distributed(cfg, spec);
+
+  std::printf("%-18s %10s %10s %10s %12s\n", "run", "loss", "acc", "F1",
+              "sent blocks");
+  std::printf("%-18s %10.4f %10.3f %10.3f %11.1f%%\n", "uncompressed",
+              base.final_loss, base.test_accuracy, base.test_f1,
+              base.mean_gradient_block_density * 100);
+  std::printf("%-18s %10.4f %10.3f %10.3f %11.1f%%\n", "BlockTopK-1%+EF",
+              comp.final_loss, comp.test_accuracy, comp.test_f1,
+              comp.mean_gradient_block_density * 100);
+
+  // The delta-compressor property that guarantees convergence (App. C):
+  sim::Rng rng(3);
+  const double delta = compress::estimate_delta(
+      spec.compressor, bs * nb, /*trials=*/50, rng);
+  std::printf(
+      "\nBlock Top-k measured delta = %.4f (theory guarantees >= k/b = "
+      "%.4f);\nerror-feedback SGD converges for any delta-compressor.\n",
+      delta, static_cast<double>(k) / static_cast<double>(nb));
+  return 0;
+}

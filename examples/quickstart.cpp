@@ -1,0 +1,59 @@
+// Quickstart: run one OmniReduce AllReduce over a simulated 8-worker
+// cluster and compare it with ring AllReduce on the same fabric.
+//
+//   $ build/examples/quickstart
+//
+// The API in three steps:
+//   1. build one gradient tensor per worker,
+//   2. pick a Config (transport preset) + FabricConfig (bandwidth/latency),
+//   3. call omr::core::run_allreduce — tensors are reduced in place and the
+//      returned RunStats carries the simulated completion time and byte
+//      counts.
+#include <cstdio>
+
+#include "baselines/ring.h"
+#include "core/engine.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+int main() {
+  using namespace omr;
+
+  // 1. Eight workers, 4M-element (16 MB) gradients, 90% of 256-element
+  //    blocks all-zero, non-zero blocks overlapping at random.
+  constexpr std::size_t kWorkers = 8;
+  constexpr std::size_t kElements = 4 << 20;
+  sim::Rng rng(/*seed=*/42);
+  std::vector<tensor::DenseTensor> tensors = tensor::make_multi_worker(
+      kWorkers, kElements, /*block_size=*/256, /*block_sparsity=*/0.9,
+      tensor::OverlapMode::kRandom, rng);
+
+  // 2. RDMA-flavoured OmniReduce on a 100 Gbps fabric with GPU-direct.
+  core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = 100e9;
+  fabric.aggregator_bandwidth_bps = 100e9;
+  device::DeviceModel device;
+  device.gdr = true;
+
+  // 3. Run. Results are verified against a serial reference reduction.
+  auto omni_inputs = tensors;  // keep a copy for the baseline run
+  core::RunStats stats =
+      core::run_allreduce(omni_inputs, cfg, fabric,
+                          core::Deployment::kDedicated,
+                          /*n_aggregator_nodes=*/kWorkers, device);
+
+  std::printf("OmniReduce:   %8.3f ms  (%.1f MB payload/worker, verified=%s)\n",
+              stats.completion_ms(),
+              stats.mean_worker_data_bytes() / 1e6,
+              stats.verified ? "yes" : "no");
+
+  // Baseline: bandwidth-optimal ring AllReduce on the same fabric.
+  baselines::BaselineConfig ring_cfg;
+  ring_cfg.bandwidth_bps = 100e9;
+  baselines::BaselineStats ring = baselines::ring_allreduce(tensors, ring_cfg);
+  std::printf("Ring (NCCL):  %8.3f ms\n", ring.completion_ms());
+  std::printf("Speedup:      %8.2fx (gradient block sparsity 90%%)\n",
+              ring.completion_ms() / stats.completion_ms());
+  return 0;
+}

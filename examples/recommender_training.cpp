@@ -1,0 +1,55 @@
+// Scenario: distributed training of a recommendation model with a large
+// embedding table (the DeepLight/NCF class of workloads that motivates the
+// paper). Demonstrates:
+//   * generating realistic embedding-sparse gradients from a workload
+//     profile,
+//   * evaluating end-to-end iteration time / scaling factor under
+//     different collectives,
+//   * the Table-2 style overlap analysis of the generated gradients.
+#include <cstdio>
+
+#include "ddl/end_to_end.h"
+#include "ddl/metrics.h"
+#include "ddl/workloads.h"
+#include "sim/rng.h"
+
+int main() {
+  using namespace omr;
+  const ddl::WorkloadProfile& deeplight = ddl::workload("DeepLight");
+
+  std::printf("Workload: %s (%.2f GB model, %.2f%% gradient sparsity)\n",
+              deeplight.name.c_str(),
+              static_cast<double>(deeplight.full_model_bytes) / 1e9,
+              deeplight.table1_gradient_sparsity * 100);
+
+  // Inspect one iteration's gradients at reduced scale.
+  sim::Rng rng(1);
+  auto grads = ddl::sample_gradients(deeplight, /*n_workers=*/8,
+                                     /*n_elements=*/4 << 20, rng);
+  std::printf("Per-worker communicated fraction at bs=256: %.2f%%\n",
+              ddl::comm_fraction(grads, 256) * 100);
+  std::printf("Union block density (protocol rounds):      %.2f%%\n",
+              ddl::union_block_density(grads, 256) * 100);
+  auto overlap = ddl::overlap_breakdown(grads, 256);
+  std::printf("Blocks private to one worker: %.1f%%, shared by all: %.1f%%\n",
+              overlap.front() * 100, overlap.back() * 100);
+
+  // Compare training at 10 Gbps under three collectives.
+  std::printf("\n%-22s %12s %12s %12s\n", "collective", "t_comm[s]",
+              "iter[s]", "scaling");
+  for (ddl::CommMethod m : {ddl::CommMethod::kNcclRing,
+                            ddl::CommMethod::kSwitchMlServer,
+                            ddl::CommMethod::kOmniReduceDpdk}) {
+    ddl::E2EConfig cfg;
+    cfg.n_workers = 8;
+    cfg.bandwidth_bps = 10e9;
+    cfg.sample_elements = 4 << 20;
+    const ddl::E2EResult r = ddl::evaluate_training(deeplight, m, cfg);
+    std::printf("%-22s %12.3f %12.3f %12.3f\n", ddl::to_string(m).c_str(),
+                r.t_comm_s, r.t_iter_s, r.scaling_factor);
+  }
+  std::printf(
+      "\nOmniReduce turns the embedding-dominated job from communication-\n"
+      "bound into (nearly) compute-bound by skipping zero blocks.\n");
+  return 0;
+}

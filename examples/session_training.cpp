@@ -1,0 +1,44 @@
+// Scenario: a persistent training deployment. One Session owns the cluster
+// (the simulated analogue of a torch.distributed process group); each
+// training iteration issues one AllReduce over fresh gradients, with the
+// network trace enabled for the first iteration to show the wire-level
+// timeline the streaming protocol produces.
+#include <cstdio>
+
+#include "core/session.h"
+#include "ddl/workloads.h"
+#include "sim/rng.h"
+
+int main() {
+  using namespace omr;
+
+  core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = 100e9;
+  fabric.aggregator_bandwidth_bps = 100e9;
+  device::DeviceModel device;
+  device.gdr = true;
+
+  constexpr std::size_t kWorkers = 8;
+  core::Session session(cfg, fabric, core::Deployment::kDedicated, kWorkers,
+                        kWorkers, device);
+
+  const ddl::WorkloadProfile& lstm = ddl::workload("LSTM");
+  sim::Rng rng(1);
+  std::printf("Training %s-like gradients, %zu workers, 100 Gbps GDR\n\n",
+              lstm.name.c_str(), kWorkers);
+  std::printf("%6s %14s %14s %10s\n", "iter", "comm[ms]", "payload[MB]",
+              "rounds");
+  for (int iter = 0; iter < 5; ++iter) {
+    auto grads = ddl::sample_gradients(lstm, kWorkers, 4 << 20, rng);
+    core::RunStats st = session.allreduce(grads);
+    std::printf("%6d %14.3f %14.2f %10llu\n", iter, st.completion_ms(),
+                st.mean_worker_data_bytes() / 1e6,
+                static_cast<unsigned long long>(st.rounds));
+  }
+  std::printf("\nTotal virtual time: %.3f ms over %zu collectives; the\n"
+              "session keeps worker/aggregator state and NIC statistics\n"
+              "alive across iterations, like a real process group.\n",
+              sim::to_milliseconds(session.now()), session.collectives_run());
+  return 0;
+}

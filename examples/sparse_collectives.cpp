@@ -1,0 +1,69 @@
+// Scenario: the generalized collectives (§7) and the sparse key-value
+// extension (§3.3, Algorithm 3):
+//   * Broadcast and AllGather through the same aggregation engine —
+//     zero-block skipping makes both bandwidth-efficient for free,
+//   * AllReduce over COO-format inputs with the streaming key-value
+//     protocol, compared against the dense block format.
+#include <cstdio>
+
+#include "core/collectives.h"
+#include "core/sparse_kv.h"
+#include "sim/rng.h"
+#include "tensor/coo.h"
+#include "tensor/generators.h"
+
+int main() {
+  using namespace omr;
+  sim::Rng rng(7);
+
+  core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = 100e9;
+  fabric.aggregator_bandwidth_bps = 100e9;
+  device::DeviceModel dev;
+  dev.gdr = true;
+
+  // --- AllGather: four workers each contribute a 1M-element shard -------
+  std::vector<tensor::DenseTensor> shards;
+  for (int w = 0; w < 4; ++w) {
+    tensor::DenseTensor s(1 << 20);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s[i] = rng.next_float(0.1f, 1.0f);
+    }
+    shards.push_back(std::move(s));
+  }
+  tensor::DenseTensor gathered;
+  core::RunStats ag = core::run_allgather(shards, gathered, cfg, fabric,
+                                          core::Deployment::kDedicated, 4,
+                                          dev);
+  std::printf("AllGather : %zu elements in %.3f ms (verified=%s)\n",
+              gathered.size(), ag.completion_ms(),
+              ag.verified ? "yes" : "no");
+
+  // --- Broadcast: root 2 distributes a sparse model delta ----------------
+  tensor::DenseTensor delta =
+      tensor::make_block_sparse(1 << 20, 256, 0.95, rng);
+  std::vector<tensor::DenseTensor> outs;
+  core::RunStats bc = core::run_broadcast(delta, /*root=*/2, /*n_workers=*/4,
+                                          outs, cfg, fabric,
+                                          core::Deployment::kDedicated, 4,
+                                          dev);
+  std::printf("Broadcast : 95%%-sparse tensor in %.3f ms "
+              "(only the root's non-zero blocks travel)\n",
+              bc.completion_ms());
+
+  // --- Sparse key-value AllReduce (Algorithm 3) ---------------------------
+  std::vector<tensor::CooTensor> coo;
+  for (int w = 0; w < 4; ++w) {
+    coo.push_back(tensor::dense_to_coo(
+        tensor::make_block_sparse(1 << 18, 8, 0.99, rng)));
+  }
+  core::SparseRunStats kv = core::run_sparse_allreduce(coo, fabric, 256);
+  std::printf("KV-sparse : %zu result pairs in %.3f ms over %llu rounds\n",
+              kv.result.nnz(), sim::to_milliseconds(kv.completion_time),
+              static_cast<unsigned long long>(kv.rounds));
+  std::printf(
+      "\nAll three collectives run on the same streaming-aggregation core;\n"
+      "no API or format change is needed (the paper's flexibility goal).\n");
+  return 0;
+}

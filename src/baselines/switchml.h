@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "tensor/dense.h"
+
+namespace omr::baselines {
+
+/// SwitchML* (the paper's server-based SwitchML variant, §6.1.1): streaming
+/// aggregation through dedicated servers with *no* sparsity skipping —
+/// exactly the OmniReduce engine in dense mode. Supports RDMA but not GDR,
+/// as benchmarked in Fig. 5/10.
+inline core::RunStats switchml_allreduce(
+    std::vector<tensor::DenseTensor>& tensors,
+    const core::FabricConfig& fabric, std::size_t n_aggregator_nodes,
+    core::Transport transport = core::Transport::kRdma) {
+  core::Config cfg = core::Config::for_transport(transport);
+  cfg.dense_mode = true;
+  device::DeviceModel dev;
+  dev.gdr = false;
+  return core::run_allreduce(tensors, cfg, fabric,
+                             core::Deployment::kDedicated,
+                             n_aggregator_nodes, dev);
+}
+
+}  // namespace omr::baselines

@@ -1,0 +1,63 @@
+#include "compress/quantizers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace omr::compress {
+
+tensor::DenseTensor qsgd_quantize(const tensor::DenseTensor& g,
+                                  std::size_t levels, sim::Rng& rng) {
+  if (levels == 0) throw std::invalid_argument("levels must be > 0");
+  const double norm = g.l2_norm();
+  tensor::DenseTensor out(g.size());
+  if (norm == 0.0) return out;
+  const double s = static_cast<double>(levels);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double r = std::abs(static_cast<double>(g[i])) / norm * s;
+    const double floor_r = std::floor(r);
+    // Stochastic rounding keeps the estimator unbiased.
+    const double level = floor_r + (rng.next_double() < (r - floor_r) ? 1 : 0);
+    const double q = norm * level / s;
+    out[i] = static_cast<float>(g[i] < 0 ? -q : q);
+  }
+  return out;
+}
+
+double qsgd_bits_per_element(std::size_t levels) {
+  // Sign bit + ceil(log2(levels + 1)) level bits (Elias coding in the
+  // original paper does better on sparse level vectors; this is the dense
+  // upper bound).
+  return 1.0 + std::ceil(std::log2(static_cast<double>(levels) + 1.0));
+}
+
+tensor::DenseTensor terngrad_quantize(const tensor::DenseTensor& g,
+                                      sim::Rng& rng) {
+  float s = 0.0f;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    s = std::max(s, std::abs(g[i]));
+  }
+  tensor::DenseTensor out(g.size());
+  if (s == 0.0f) return out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double p = std::abs(g[i]) / s;  // P(keep magnitude s)
+    if (rng.next_double() < p) {
+      out[i] = g[i] < 0 ? -s : s;
+    }
+  }
+  return out;
+}
+
+double estimate_bias(const tensor::DenseTensor& x,
+                     const std::function<tensor::DenseTensor()>& quantize,
+                     std::size_t trials) {
+  if (trials == 0) throw std::invalid_argument("trials must be > 0");
+  tensor::DenseTensor mean(x.size());
+  for (std::size_t t = 0; t < trials; ++t) {
+    mean.add_inplace(quantize());
+  }
+  mean.scale_inplace(1.0f / static_cast<float>(trials));
+  return tensor::max_abs_diff(mean, x);
+}
+
+}  // namespace omr::compress

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/rng.h"
+#include "tensor/dense.h"
+
+namespace omr::compress {
+
+/// Quantization-based gradient compressors — the second family of §2.1's
+/// taxonomy (sparsification vs quantization), provided as baselines and as
+/// composable partners for OmniReduce (quantization reduces c_v, the
+/// per-element wire width; sparsification reduces the element count).
+/// Both are unbiased or error-feedback-compatible, so the trainer can use
+/// them through the same Compressor interface.
+
+/// QSGD (Alistarh et al., NeurIPS'17): stochastic uniform quantization to
+/// `levels` levels per l2-normalized coordinate. Unbiased: E[Q(x)] = x.
+/// Returned values are the dequantized representatives, so the result
+/// plugs into the float pipeline; the wire width it *would* need is
+/// qsgd_bits_per_element(levels).
+tensor::DenseTensor qsgd_quantize(const tensor::DenseTensor& g,
+                                  std::size_t levels, sim::Rng& rng);
+
+/// Effective payload bits per element for QSGD at `levels` (sign + level
+/// index; the per-tensor norm is amortized away).
+double qsgd_bits_per_element(std::size_t levels);
+
+/// TernGrad (Wen et al., NeurIPS'17): ternarize to {-s, 0, +s} with
+/// s = max|g_i|, stochastic rounding, unbiased.
+tensor::DenseTensor terngrad_quantize(const tensor::DenseTensor& g,
+                                      sim::Rng& rng);
+
+/// Empirical unbiasedness check: max over coordinates of
+/// |E[Q(x)_i] - x_i| estimated over `trials` quantizations.
+double estimate_bias(const tensor::DenseTensor& x,
+                     const std::function<tensor::DenseTensor()>& quantize,
+                     std::size_t trials);
+
+}  // namespace omr::compress

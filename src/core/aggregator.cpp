@@ -1,0 +1,255 @@
+#include "core/aggregator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace omr::core {
+
+namespace {
+// Sentinels for the bootstrap round: cur starts at kPreStart (no block is
+// being aggregated yet); next_tbl entries start at kMinusInfinity so the
+// round cannot complete before every worker has announced once
+// (Algorithm 1 line 18).
+constexpr tensor::BlockIndex kPreStart = -1;
+constexpr tensor::BlockIndex kMinusInfinity = -2;
+}  // namespace
+
+Aggregator::Aggregator(const Config& cfg, net::Network& net,
+                       std::size_t n_workers)
+    : cfg_(cfg), net_(net), n_workers_(n_workers) {}
+
+void Aggregator::bind(net::EndpointId self,
+                      std::vector<net::EndpointId> workers) {
+  self_ = self;
+  workers_ = std::move(workers);
+}
+
+float Aggregator::identity() const {
+  switch (cfg_.op) {
+    case ReduceOp::kSum: return 0.0f;
+    case ReduceOp::kMin: return std::numeric_limits<float>::infinity();
+    case ReduceOp::kMax: return -std::numeric_limits<float>::infinity();
+  }
+  return 0.0f;
+}
+
+void Aggregator::add_stream(std::uint32_t stream, const StreamInfo& info) {
+  SlotState st;
+  st.info = info;
+  st.cur.assign(info.columns, kPreStart);
+  if (cfg_.loss_recovery) {
+    for (SlotVersion& v : st.ver) {
+      v.data.assign(info.columns * cfg_.block_size, identity());
+      v.seen.assign(n_workers_, 0);
+      v.min_next.assign(info.columns, tensor::kNoBlock);
+    }
+  } else {
+    st.slot.assign(info.columns * cfg_.block_size, identity());
+    st.next_tbl.assign(info.columns,
+                       std::vector<tensor::BlockIndex>(n_workers_,
+                                                       kMinusInfinity));
+  }
+  streams_.emplace(stream, std::move(st));
+}
+
+void Aggregator::begin_collective() {
+  streams_.clear();
+  streams_done_ = 0;
+  results_sent_ = 0;
+  duplicate_resends_ = 0;
+  rounds_completed_ = 0;
+}
+
+void Aggregator::on_message(net::EndpointId /*from*/,
+                            const net::MessagePtr& msg) {
+  const auto p = std::dynamic_pointer_cast<const DataPacket>(msg);
+  if (p == nullptr) {
+    throw std::logic_error("aggregator received non-data message");
+  }
+  auto it = streams_.find(p->stream);
+  if (it == streams_.end()) {
+    throw std::logic_error("packet for unknown stream");
+  }
+  if (cfg_.loss_recovery) {
+    handle_alg2(it->second, p->stream, p);
+  } else {
+    handle_alg1(it->second, p->stream, p);
+  }
+}
+
+void Aggregator::fold(std::vector<float>& slot, const DataPacket& p) const {
+  for (const ColumnBlock& cb : p.columns) {
+    assert(cb.data.size() == cfg_.block_size);
+    float* dst = slot.data() + cb.column * cfg_.block_size;
+    switch (cfg_.op) {
+      case ReduceOp::kSum:
+        if (cfg_.fixed_point) {
+          // Switch-ASIC arithmetic: each addend is quantized to an
+          // int32-scaled value and the running sum saturates at the int32
+          // range — the SwitchML-style limitation the P4 aggregator
+          // inherits (§7).
+          const double s = cfg_.fixed_point_scale;
+          constexpr double kMaxFix = 2147483647.0;
+          for (std::size_t i = 0; i < cfg_.block_size; ++i) {
+            const double q =
+                std::nearbyint(static_cast<double>(cb.data[i]) * s);
+            double acc =
+                std::nearbyint(static_cast<double>(dst[i]) * s) + q;
+            acc = std::clamp(acc, -kMaxFix, kMaxFix);
+            dst[i] = static_cast<float>(acc / s);
+          }
+        } else {
+          for (std::size_t i = 0; i < cfg_.block_size; ++i) {
+            dst[i] += cb.data[i];
+          }
+        }
+        break;
+      case ReduceOp::kMin:
+        for (std::size_t i = 0; i < cfg_.block_size; ++i) {
+          dst[i] = std::min(dst[i], cb.data[i]);
+        }
+        break;
+      case ReduceOp::kMax:
+        for (std::size_t i = 0; i < cfg_.block_size; ++i) {
+          dst[i] = std::max(dst[i], cb.data[i]);
+        }
+        break;
+    }
+  }
+}
+
+void Aggregator::stage(SlotState& st, std::vector<float>& slot,
+                       std::vector<std::shared_ptr<const DataPacket>>& pending,
+                       const std::shared_ptr<const DataPacket>& p) const {
+  (void)st;
+  if (p->columns.empty()) return;
+  if (cfg_.deterministic_reduction) {
+    pending.push_back(p);
+  } else {
+    fold(slot, *p);
+  }
+}
+
+void Aggregator::drain_pending(
+    std::vector<float>& slot,
+    std::vector<std::shared_ptr<const DataPacket>>& pending) const {
+  if (pending.empty()) return;
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const auto& a, const auto& b) { return a->wid < b->wid; });
+  for (const auto& p : pending) fold(slot, *p);
+  pending.clear();
+}
+
+net::MessagePtr Aggregator::emit_result(
+    SlotState& st, std::uint32_t stream, std::uint8_t ver,
+    const std::vector<tensor::BlockIndex>& requests,
+    std::vector<float>& slot) {
+  auto result = std::make_shared<ResultPacket>();
+  result->stream = stream;
+  result->ver = ver;
+  result->header_bytes = cfg_.header_bytes;
+  result->per_block_meta_bytes = cfg_.per_block_meta_bytes;
+  result->value_bytes = cfg_.value_bytes;
+  result->request = requests;
+  for (std::size_t c = 0; c < st.info.columns; ++c) {
+    // No data for finished columns or for the bootstrap round (nothing has
+    // been aggregated yet).
+    if (st.cur[c] == tensor::kNoBlock || st.cur[c] == kPreStart) continue;
+    ColumnBlock cb;
+    cb.column = static_cast<std::uint32_t>(c);
+    cb.block = st.cur[c];
+    cb.data.assign(slot.begin() + static_cast<std::ptrdiff_t>(c * cfg_.block_size),
+                   slot.begin() + static_cast<std::ptrdiff_t>((c + 1) * cfg_.block_size));
+    result->columns.push_back(std::move(cb));
+  }
+  std::fill(slot.begin(), slot.end(), identity());
+  // Advance every column to the newly requested block.
+  bool all_done = true;
+  for (std::size_t c = 0; c < st.info.columns; ++c) {
+    st.cur[c] = requests[c];
+    if (st.cur[c] != tensor::kNoBlock) all_done = false;
+  }
+  net::MessagePtr shared = result;
+  if (cfg_.switch_multicast) {
+    // In-network aggregator: the switch data plane replicates the packet —
+    // one TX serialization regardless of worker count.
+    net_.send_switch_multicast(self_, workers_, shared);
+  } else {
+    // Server-based aggregator: one unicast per worker, each paying TX
+    // serialization on the aggregator NIC.
+    for (net::EndpointId w : workers_) net_.send(self_, w, shared);
+  }
+  results_sent_ += workers_.size();
+  ++rounds_completed_;
+  if (all_done && !st.done) {
+    st.done = true;
+    ++streams_done_;
+  }
+  return shared;
+}
+
+void Aggregator::handle_alg1(SlotState& st, std::uint32_t stream,
+                             const std::shared_ptr<const DataPacket>& p) {
+  if (st.done) return;
+  stage(st, st.slot, st.pending, p);
+  assert(p->next.size() == st.info.columns);
+  for (std::size_t c = 0; c < st.info.columns; ++c) {
+    st.next_tbl[c][p->wid] = p->next[c];
+  }
+  // Round completes when, for every unfinished column, every worker's
+  // announced next block lies strictly past the block being aggregated
+  // (Algorithm 1 line 22 generalized per column).
+  std::vector<tensor::BlockIndex> requests(st.info.columns, tensor::kNoBlock);
+  for (std::size_t c = 0; c < st.info.columns; ++c) {
+    if (st.cur[c] == tensor::kNoBlock) continue;
+    tensor::BlockIndex mn = tensor::kNoBlock;
+    for (tensor::BlockIndex n : st.next_tbl[c]) mn = std::min(mn, n);
+    if (mn <= st.cur[c]) return;  // some owner still outstanding
+    requests[c] = mn;
+  }
+  drain_pending(st.slot, st.pending);
+  emit_result(st, stream, 0, requests, st.slot);
+}
+
+void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
+                             const std::shared_ptr<const DataPacket>& p) {
+  const std::uint8_t v = p->ver & 1;
+  SlotVersion& sv = st.ver[v];
+  if (sv.seen[p->wid]) {
+    // Duplicate (retransmission). If this round already completed, the
+    // worker must have missed the result: resend it to that worker only
+    // (Algorithm 2 lines 46-49). Otherwise the payload was already
+    // aggregated; drop.
+    if (sv.count == 0 && sv.last_result) {
+      net_.send(self_, workers_[p->wid], sv.last_result);
+      ++duplicate_resends_;
+    }
+    return;
+  }
+  sv.seen[p->wid] = 1;
+  st.ver[1 - v].seen[p->wid] = 0;
+  ++sv.count;
+  assert(p->next.size() == st.info.columns);
+  if (sv.count == 1) {
+    // First packet of a fresh round: the slot version is being reused;
+    // reset the accumulator and the min-next tracker.
+    std::fill(sv.data.begin(), sv.data.end(), identity());
+    sv.pending.clear();
+    sv.min_next.assign(p->next.begin(), p->next.end());
+  } else {
+    for (std::size_t c = 0; c < st.info.columns; ++c) {
+      sv.min_next[c] = std::min(sv.min_next[c], p->next[c]);
+    }
+  }
+  stage(st, sv.data, sv.pending, p);
+  if (sv.count == n_workers_) {
+    sv.count = 0;
+    drain_pending(sv.data, sv.pending);
+    sv.last_result = emit_result(st, stream, v, sv.min_next, sv.data);
+  }
+}
+
+}  // namespace omr::core

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/messages.h"
+#include "core/stream_layout.h"
+#include "net/network.h"
+
+namespace omr::core {
+
+/// OmniReduce aggregator node. Owns a shard of the stream slots; runs the
+/// Algorithm 1 look-ahead aggregation on reliable fabrics and the
+/// Algorithm 2 versioned-slot variant (count-based rounds, duplicate
+/// detection, result retransmission) on lossy ones.
+class Aggregator final : public net::Endpoint {
+ public:
+  Aggregator(const Config& cfg, net::Network& net, std::size_t n_workers);
+
+  /// Wire the aggregator: its endpoint and the worker endpoints (indexed
+  /// by worker id) used for result multicast.
+  void bind(net::EndpointId self, std::vector<net::EndpointId> workers);
+
+  /// Register ownership of a stream's slot. Must be called for every
+  /// stream routed to this node before traffic arrives.
+  void add_stream(std::uint32_t stream, const StreamInfo& info);
+
+  /// Drop all stream state and reset per-collective counters: called by a
+  /// Session between collectives (the Fig. 2f "wait for new tensor"
+  /// transition).
+  void begin_collective();
+
+  void on_message(net::EndpointId from, const net::MessagePtr& msg) override;
+
+  /// All owned streams have completed (final results multicast).
+  bool done() const { return streams_done_ == streams_.size(); }
+  std::uint64_t results_sent() const { return results_sent_; }
+  std::uint64_t duplicate_resends() const { return duplicate_resends_; }
+  std::uint64_t rounds_completed() const { return rounds_completed_; }
+
+ private:
+  struct SlotVersion {  // Algorithm 2 per-version state
+    std::vector<float> data;
+    std::vector<std::uint8_t> seen;            // per worker
+    std::size_t count = 0;                     // packets this round
+    std::vector<tensor::BlockIndex> min_next;  // per column
+    net::MessagePtr last_result;               // retransmission buffer
+    /// Deterministic mode: contributions buffered until round completion.
+    std::vector<std::shared_ptr<const DataPacket>> pending;
+  };
+  struct SlotState {
+    StreamInfo info;
+    std::vector<tensor::BlockIndex> cur;  // per column; kNoBlock = finished
+    bool done = false;
+    // Algorithm 1 state
+    std::vector<float> slot;  // columns * block_size accumulator
+    std::vector<std::vector<tensor::BlockIndex>> next_tbl;  // [col][worker]
+    std::vector<std::shared_ptr<const DataPacket>> pending;  // deterministic
+    // Algorithm 2 state
+    SlotVersion ver[2];
+  };
+
+  void handle_alg1(SlotState& st, std::uint32_t stream,
+                   const std::shared_ptr<const DataPacket>& p);
+  void handle_alg2(SlotState& st, std::uint32_t stream,
+                   const std::shared_ptr<const DataPacket>& p);
+  /// Fold p's block payloads into `slot` with the configured operator,
+  /// either immediately or (deterministic mode) via `pending`.
+  void stage(SlotState& st, std::vector<float>& slot,
+             std::vector<std::shared_ptr<const DataPacket>>& pending,
+             const std::shared_ptr<const DataPacket>& p) const;
+  /// Apply one packet's payload to `slot` (op + optional fixed point).
+  void fold(std::vector<float>& slot, const DataPacket& p) const;
+  /// Deterministic mode: fold `pending` in worker-id order, then clear it.
+  void drain_pending(std::vector<float>& slot,
+                     std::vector<std::shared_ptr<const DataPacket>>& pending)
+      const;
+  /// Identity element of the configured operator (slot reset value).
+  float identity() const;
+  /// Build + multicast the round's result; advances cur and detects stream
+  /// completion. `requests` are per-column global minima; `slot` holds the
+  /// aggregated data for the round. Returns the packet for retransmission.
+  net::MessagePtr emit_result(SlotState& st, std::uint32_t stream,
+                              std::uint8_t ver,
+                              const std::vector<tensor::BlockIndex>& requests,
+                              std::vector<float>& slot);
+
+  Config cfg_;
+  net::Network& net_;
+  std::size_t n_workers_;
+  net::EndpointId self_ = -1;
+  std::vector<net::EndpointId> workers_;
+  std::unordered_map<std::uint32_t, SlotState> streams_;
+  std::size_t streams_done_ = 0;
+  std::uint64_t results_sent_ = 0;
+  std::uint64_t duplicate_resends_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+};
+
+}  // namespace omr::core

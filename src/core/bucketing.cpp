@@ -1,0 +1,58 @@
+#include "core/bucketing.h"
+
+#include <stdexcept>
+
+namespace omr::core {
+
+RunStats run_allreduce_bucketed(
+    std::vector<std::vector<tensor::DenseTensor>>& buckets, const Config& cfg,
+    const FabricConfig& fabric, Deployment deployment,
+    std::size_t n_aggregator_nodes, const device::DeviceModel& device,
+    bool verify) {
+  if (buckets.empty()) throw std::invalid_argument("no workers");
+  const std::size_t n_tensors = buckets.front().size();
+  std::size_t total = 0;
+  for (const auto& t : buckets.front()) total += t.size();
+  for (const auto& worker : buckets) {
+    if (worker.size() != n_tensors) {
+      throw std::invalid_argument("bucket layout mismatch");
+    }
+    for (std::size_t i = 0; i < n_tensors; ++i) {
+      if (worker[i].size() != buckets.front()[i].size()) {
+        throw std::invalid_argument("tensor shape mismatch");
+      }
+    }
+  }
+
+  // Flatten.
+  std::vector<tensor::DenseTensor> flat;
+  flat.reserve(buckets.size());
+  for (const auto& worker : buckets) {
+    tensor::DenseTensor f(total);
+    std::size_t off = 0;
+    for (const auto& t : worker) {
+      std::copy(t.values().begin(), t.values().end(),
+                f.values().begin() + static_cast<std::ptrdiff_t>(off));
+      off += t.size();
+    }
+    flat.push_back(std::move(f));
+  }
+
+  RunStats stats = run_allreduce(flat, cfg, fabric, deployment,
+                                 n_aggregator_nodes, device, verify);
+
+  // Scatter back.
+  for (std::size_t w = 0; w < buckets.size(); ++w) {
+    std::size_t off = 0;
+    for (auto& t : buckets[w]) {
+      std::copy(flat[w].values().begin() + static_cast<std::ptrdiff_t>(off),
+                flat[w].values().begin() +
+                    static_cast<std::ptrdiff_t>(off + t.size()),
+                t.values().begin());
+      off += t.size();
+    }
+  }
+  return stats;
+}
+
+}  // namespace omr::core

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "tensor/dense.h"
+
+namespace omr::core {
+
+/// DDP-style gradient bucketing (§5: OmniReduce integrates with PyTorch's
+/// DistributedDataParallel, which hands the backend fused buckets of
+/// per-layer gradients): flatten each worker's list of tensors into one
+/// contiguous buffer, AllReduce once, and scatter the results back. Layer
+/// shapes must agree across workers. One collective amortizes per-tensor
+/// setup and lets small layers share blocks.
+///
+/// `buckets[w]` is worker w's list of tensors; all lists must have the same
+/// per-index sizes. Reduced in place.
+RunStats run_allreduce_bucketed(
+    std::vector<std::vector<tensor::DenseTensor>>& buckets, const Config& cfg,
+    const FabricConfig& fabric, Deployment deployment,
+    std::size_t n_aggregator_nodes, const device::DeviceModel& device,
+    bool verify = true);
+
+}  // namespace omr::core

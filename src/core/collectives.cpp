@@ -1,0 +1,49 @@
+#include "core/collectives.h"
+
+#include <stdexcept>
+
+namespace omr::core {
+
+RunStats run_allgather(std::vector<tensor::DenseTensor>& shards,
+                       tensor::DenseTensor& out, const Config& cfg,
+                       const FabricConfig& fabric, Deployment deployment,
+                       std::size_t n_aggregator_nodes,
+                       const device::DeviceModel& device) {
+  if (shards.empty()) throw std::invalid_argument("no workers");
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  // Place each worker's shard at its offset; all other positions are zero,
+  // so the engine transmits only each worker's own blocks.
+  std::vector<tensor::DenseTensor> inputs;
+  inputs.reserve(shards.size());
+  std::size_t offset = 0;
+  for (const auto& s : shards) {
+    tensor::DenseTensor t(total);
+    for (std::size_t i = 0; i < s.size(); ++i) t[offset + i] = s[i];
+    inputs.push_back(std::move(t));
+    offset += s.size();
+  }
+  RunStats stats = run_allreduce(inputs, cfg, fabric, deployment,
+                                 n_aggregator_nodes, device);
+  out = inputs.front();
+  return stats;
+}
+
+RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
+                       std::size_t n_workers,
+                       std::vector<tensor::DenseTensor>& outputs,
+                       const Config& cfg, const FabricConfig& fabric,
+                       Deployment deployment,
+                       std::size_t n_aggregator_nodes,
+                       const device::DeviceModel& device) {
+  if (root >= n_workers) throw std::invalid_argument("bad root");
+  std::vector<tensor::DenseTensor> inputs(n_workers,
+                                          tensor::DenseTensor(root_data.size()));
+  inputs[root] = root_data;
+  RunStats stats = run_allreduce(inputs, cfg, fabric, deployment,
+                                 n_aggregator_nodes, device);
+  outputs = std::move(inputs);
+  return stats;
+}
+
+}  // namespace omr::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "tensor/dense.h"
+
+namespace omr::core {
+
+/// Generalized collectives over the OmniReduce engine (§7): AllGather is a
+/// sparse AllReduce with no block overlap; Broadcast is the degenerate case
+/// where N-1 inputs are empty. The engine's zero-block skipping makes both
+/// bandwidth-efficient without any protocol change.
+
+/// AllGather: worker w contributes `shards[w]`; on return every entry of
+/// `shards` is replaced by the concatenation of all shards (equal shard
+/// sizes are not required). Returns the run statistics; `out` receives the
+/// concatenated tensor.
+RunStats run_allgather(std::vector<tensor::DenseTensor>& shards,
+                       tensor::DenseTensor& out, const Config& cfg,
+                       const FabricConfig& fabric, Deployment deployment,
+                       std::size_t n_aggregator_nodes,
+                       const device::DeviceModel& device);
+
+/// Broadcast `root_data` from worker `root` to all `n_workers` workers.
+/// `outputs[w]` receives the broadcast tensor for every w.
+RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
+                       std::size_t n_workers,
+                       std::vector<tensor::DenseTensor>& outputs,
+                       const Config& cfg, const FabricConfig& fabric,
+                       Deployment deployment,
+                       std::size_t n_aggregator_nodes,
+                       const device::DeviceModel& device);
+
+}  // namespace omr::core

@@ -1,0 +1,207 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "core/stream_layout.h"
+#include "net/network.h"
+#include "tensor/blocks.h"
+
+namespace omr::core {
+
+namespace {
+
+/// Reference reduction matching the engine's sparse semantics: per block
+/// position, fold contributing workers (all workers in dense mode, workers
+/// with a non-zero block otherwise) element-wise with the operator; block
+/// positions nobody contributes stay zero. For kSum this is the plain sum.
+tensor::DenseTensor reference_reduce(
+    const std::vector<tensor::DenseTensor>& tensors, const Config& cfg) {
+  if (cfg.op == ReduceOp::kSum) return tensor::reference_sum(tensors);
+  const std::size_t n = tensors.front().size();
+  const std::size_t bs = cfg.block_size;
+  tensor::DenseTensor out(n);
+  std::vector<tensor::BlockBitmap> maps;
+  maps.reserve(tensors.size());
+  for (const auto& t : tensors) maps.emplace_back(t.span(), bs);
+  const std::size_t nb = tensor::num_blocks(n, bs);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t lo = b * bs;
+    const std::size_t hi = std::min(lo + bs, n);
+    bool first = true;
+    for (std::size_t w = 0; w < tensors.size(); ++w) {
+      if (!cfg.dense_mode &&
+          !maps[w].nonzero(static_cast<tensor::BlockIndex>(b))) {
+        continue;
+      }
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (first) {
+          out[i] = tensors[w][i];
+        } else if (cfg.op == ReduceOp::kMin) {
+          out[i] = std::min(out[i], tensors[w][i]);
+        } else {
+          out[i] = std::max(out[i], tensors[w][i]);
+        }
+      }
+      first = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
+                       const Config& cfg, const FabricConfig& fabric,
+                       Deployment deployment,
+                       std::size_t n_aggregator_nodes,
+                       const device::DeviceModel& device, bool verify) {
+  if (tensors.empty()) throw std::invalid_argument("no workers");
+  const std::size_t n_workers = tensors.size();
+  const std::size_t n = tensors.front().size();
+  for (const auto& t : tensors) {
+    if (t.size() != n) throw std::invalid_argument("tensor size mismatch");
+  }
+  if (deployment == Deployment::kColocated) {
+    n_aggregator_nodes = n_workers;
+  }
+  if (n_aggregator_nodes == 0) {
+    throw std::invalid_argument("need at least one aggregator node");
+  }
+
+  if (cfg.fixed_point && cfg.op != ReduceOp::kSum) {
+    throw std::invalid_argument("fixed-point slots support only sum");
+  }
+  tensor::DenseTensor reference;
+  if (verify) reference = reference_reduce(tensors, cfg);
+
+  Config run_cfg = cfg;
+  if (fabric.loss_rate > 0.0) run_cfg.loss_recovery = true;
+
+  sim::Simulator simulator;
+  net::Network network(simulator, fabric.one_way_latency, fabric.seed);
+  network.set_loss_rate(fabric.loss_rate);
+
+  const StreamLayout layout = StreamLayout::build(n, run_cfg);
+
+  // --- topology -----------------------------------------------------------
+  std::vector<net::NicId> worker_nics(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    worker_nics[w] = network.add_nic({fabric.worker_bandwidth_bps,
+                                      fabric.worker_bandwidth_bps,
+                                      fabric.worker_rx_overhead_ns});
+  }
+  std::vector<net::NicId> agg_nics(n_aggregator_nodes);
+  for (std::size_t a = 0; a < n_aggregator_nodes; ++a) {
+    agg_nics[a] = deployment == Deployment::kColocated
+                      ? worker_nics[a]
+                      : network.add_nic({fabric.aggregator_bandwidth_bps,
+                                         fabric.aggregator_bandwidth_bps,
+                                         fabric.aggregator_rx_overhead_ns});
+  }
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<net::EndpointId> worker_eps;
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers.push_back(std::make_unique<Worker>(
+        run_cfg, network, static_cast<std::uint32_t>(w)));
+    worker_eps.push_back(network.attach(workers.back().get(),
+                                        worker_nics[w]));
+  }
+  std::vector<std::unique_ptr<Aggregator>> aggs;
+  std::vector<net::EndpointId> agg_eps;
+  for (std::size_t a = 0; a < n_aggregator_nodes; ++a) {
+    aggs.push_back(std::make_unique<Aggregator>(run_cfg, network, n_workers));
+    agg_eps.push_back(network.attach(aggs.back().get(), agg_nics[a]));
+    aggs.back()->bind(agg_eps.back(), worker_eps);
+  }
+
+  // Streams are sharded round-robin across aggregator nodes (§3: each node
+  // owns a disjoint shard of blocks).
+  std::vector<net::EndpointId> agg_of_stream(layout.streams.size());
+  for (std::size_t s = 0; s < layout.streams.size(); ++s) {
+    const std::size_t a = s % n_aggregator_nodes;
+    agg_of_stream[s] = agg_eps[a];
+    aggs[a]->add_stream(static_cast<std::uint32_t>(s), layout.streams[s]);
+  }
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers[w]->bind(worker_eps[w], agg_of_stream);
+  }
+
+  // --- run ------------------------------------------------------------------
+  if (!fabric.worker_start_offsets.empty() &&
+      fabric.worker_start_offsets.size() != n_workers) {
+    throw std::invalid_argument("start-offset count != worker count");
+  }
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    const sim::Time offset = fabric.worker_start_offsets.empty()
+                                 ? 0
+                                 : fabric.worker_start_offsets[w];
+    if (offset == 0) {
+      workers[w]->start(tensors[w], layout, device);
+    } else {
+      Worker* worker = workers[w].get();
+      tensor::DenseTensor* t = &tensors[w];
+      simulator.schedule_at(offset, [worker, t, &layout, &device]() {
+        worker->start(*t, layout, device);
+      });
+    }
+  }
+  simulator.run();
+
+  RunStats stats;
+  for (const auto& w : workers) {
+    if (!w->done()) {
+      throw std::logic_error("allreduce did not complete (protocol stall)");
+    }
+    stats.worker_finish.push_back(w->finish_time());
+    stats.worker_data_bytes.push_back(w->data_bytes_sent());
+    stats.retransmissions += w->retransmissions();
+    stats.acks += w->acks_sent();
+    stats.completion_time =
+        std::max(stats.completion_time, w->finish_time());
+  }
+  for (std::size_t a = 0; a < n_aggregator_nodes; ++a) {
+    stats.rounds += aggs[a]->rounds_completed();
+    stats.duplicate_resends += aggs[a]->duplicate_resends();
+  }
+  for (net::NicId nic : worker_nics) {
+    stats.total_messages += network.nic_stats(nic).tx_messages;
+  }
+  stats.dropped_messages = network.total_dropped();
+
+  if (verify) {
+    double max_err = 0.0;
+    for (const auto& t : tensors) {
+      max_err = std::max(max_err, tensor::max_abs_diff(t, reference));
+    }
+    stats.max_error = max_err;
+    // Float sums of <= n_workers addends in a different association order:
+    // tolerance grows mildly with worker count and value magnitude.
+    const double tol = 1e-4 * static_cast<double>(n_workers);
+    stats.verified = max_err <= tol;
+    if (!stats.verified) {
+      throw std::logic_error("allreduce result mismatch vs reference");
+    }
+  }
+  return stats;
+}
+
+RunStats run_allreduce_simple(std::vector<tensor::DenseTensor>& tensors,
+                              Transport transport, double bandwidth_bps,
+                              bool gdr, double loss_rate,
+                              std::uint64_t seed) {
+  const Config cfg = Config::for_transport(transport);
+  FabricConfig fabric;
+  fabric.worker_bandwidth_bps = bandwidth_bps;
+  fabric.aggregator_bandwidth_bps = bandwidth_bps;
+  fabric.loss_rate = loss_rate;
+  fabric.seed = seed;
+  device::DeviceModel device;
+  device.gdr = gdr;
+  return run_allreduce(tensors, cfg, fabric, Deployment::kDedicated,
+                       std::max<std::size_t>(tensors.size(), 1), device);
+}
+
+}  // namespace omr::core

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "core/config.h"
+#include "core/worker.h"
+#include "device/device_model.h"
+#include "tensor/dense.h"
+
+namespace omr::core {
+
+/// Fabric parameters for one collective run (one simulated cluster).
+struct FabricConfig {
+  double worker_bandwidth_bps = 10e9;
+  double aggregator_bandwidth_bps = 10e9;
+  sim::Time one_way_latency = sim::microseconds(10);
+  double loss_rate = 0.0;
+  std::uint64_t seed = 1;
+  /// Per-worker start offsets (compute skew / stragglers). Empty = all
+  /// workers enter the collective at t=0. Since every aggregation round
+  /// needs the slowest owner, OmniReduce — like any synchronous collective
+  /// — is gated by the last worker; this knob quantifies that.
+  std::vector<sim::Time> worker_start_offsets;
+  /// Per-message CPU cost at the aggregator's receive path (ns): a
+  /// software (DPDK) aggregator spends CPU per packet regardless of size;
+  /// 0 models line-rate processing. Calibrating this to ~1.2 us/packet
+  /// reproduces the paper's measured dense-DPDK parity with NCCL (their
+  /// Fig. 4; see bench_ablation_cpu_bound).
+  double aggregator_rx_overhead_ns = 0.0;
+  /// Same for the worker receive path.
+  double worker_rx_overhead_ns = 0.0;
+};
+
+/// Outcome of one collective.
+struct RunStats {
+  sim::Time completion_time = 0;  // max over workers (the paper's metric)
+  std::vector<sim::Time> worker_finish;
+  std::vector<std::uint64_t> worker_data_bytes;  // payload only
+  std::uint64_t total_messages = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t acks = 0;               // payload-less packets (Algorithm 2)
+  std::uint64_t duplicate_resends = 0;  // aggregator result retransmissions
+  bool verified = false;
+  double max_error = 0.0;
+
+  double completion_ms() const { return sim::to_milliseconds(completion_time); }
+  /// Mean per-worker transmitted payload (Table 1's "OmniReduce comm.").
+  double mean_worker_data_bytes() const {
+    if (worker_data_bytes.empty()) return 0.0;
+    double s = 0.0;
+    for (auto b : worker_data_bytes) s += static_cast<double>(b);
+    return s / static_cast<double>(worker_data_bytes.size());
+  }
+};
+
+/// Run one OmniReduce AllReduce over a freshly built simulated cluster.
+///
+/// `tensors` (one per worker) are reduced in place: on return every entry
+/// holds the element-wise sum. With `verify`, the result is checked against
+/// a serial reference reduction (tolerance scales with worker count).
+///
+/// Deployment::kDedicated uses `n_aggregator_nodes` separate aggregator
+/// machines (paper testbed: 8). Deployment::kColocated shards the
+/// aggregator across the worker NICs.
+RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
+                       const Config& cfg, const FabricConfig& fabric,
+                       Deployment deployment,
+                       std::size_t n_aggregator_nodes,
+                       const device::DeviceModel& device,
+                       bool verify = true);
+
+/// Convenience wrapper with paper-style knobs: picks Config from the
+/// transport, dedicated aggregators, and a device model with/without GDR.
+RunStats run_allreduce_simple(std::vector<tensor::DenseTensor>& tensors,
+                              Transport transport, double bandwidth_bps,
+                              bool gdr = false, double loss_rate = 0.0,
+                              std::uint64_t seed = 1);
+
+}  // namespace omr::core

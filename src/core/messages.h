@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+#include "tensor/blocks.h"
+
+namespace omr::core {
+
+/// One fused block inside a packet: which column of the stream's 2-D block
+/// layout it belongs to, which (stream-local) block row it carries, and the
+/// block's values. Only non-zero blocks are included (§3.2).
+struct ColumnBlock {
+  std::uint32_t column = 0;
+  tensor::BlockIndex block = 0;  // stream-local block index
+  std::vector<float> data;       // block_size values (padded at tensor end)
+};
+
+/// Worker -> aggregator packet (Algorithm 1 / 2 with Block Fusion).
+/// `next` always holds one entry per active column of the stream: the
+/// sender's next non-zero block in that column (tensor::kNoBlock = infinity).
+/// An ACK (Algorithm 2, zero payload) is a DataPacket with empty `columns`.
+struct DataPacket final : net::Message {
+  std::uint32_t stream = 0;
+  std::uint8_t ver = 0;  // slot version (Algorithm 2); 0 when unused
+  std::uint32_t wid = 0;
+  std::vector<ColumnBlock> columns;
+  std::vector<tensor::BlockIndex> next;  // size = active columns
+  std::size_t header_bytes = 64;
+  std::size_t per_block_meta_bytes = 8;
+  std::size_t value_bytes = 4;  // c_v: 4 = fp32, 2 = fp16 on the wire
+
+  std::size_t wire_bytes() const override {
+    std::size_t data_bytes = 0;
+    for (const ColumnBlock& c : columns) {
+      data_bytes += c.data.size() * value_bytes;
+    }
+    return header_bytes + next.size() * per_block_meta_bytes + data_bytes;
+  }
+};
+
+/// Aggregator -> workers result packet. `columns` carries the aggregated
+/// blocks of the slot just completed; `request[c]` is the global-minimum
+/// next non-zero block the aggregator needs for column c (tensor::kNoBlock
+/// signals that column is finished).
+struct ResultPacket final : net::Message {
+  std::uint32_t stream = 0;
+  std::uint8_t ver = 0;
+  std::vector<ColumnBlock> columns;
+  std::vector<tensor::BlockIndex> request;  // size = active columns
+  std::size_t header_bytes = 64;
+  std::size_t per_block_meta_bytes = 8;
+  std::size_t value_bytes = 4;
+
+  std::size_t wire_bytes() const override {
+    std::size_t data_bytes = 0;
+    for (const ColumnBlock& c : columns) {
+      data_bytes += c.data.size() * value_bytes;
+    }
+    return header_bytes + request.size() * per_block_meta_bytes + data_bytes;
+  }
+};
+
+}  // namespace omr::core

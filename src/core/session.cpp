@@ -1,0 +1,134 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/stream_layout.h"
+#include "tensor/blocks.h"
+
+namespace omr::core {
+
+Session::Session(const Config& cfg, const FabricConfig& fabric,
+                 Deployment deployment, std::size_t n_workers,
+                 std::size_t n_aggregator_nodes,
+                 const device::DeviceModel& device)
+    : cfg_(cfg),
+      fabric_cfg_(fabric),
+      deployment_(deployment),
+      n_workers_(n_workers),
+      n_aggregators_(deployment == Deployment::kColocated ? n_workers
+                                                          : n_aggregator_nodes),
+      device_(device) {
+  if (n_workers_ == 0) throw std::invalid_argument("no workers");
+  if (n_aggregators_ == 0) throw std::invalid_argument("no aggregators");
+  if (fabric.loss_rate > 0.0) cfg_.loss_recovery = true;
+
+  simulator_ = std::make_unique<sim::Simulator>();
+  network_ = std::make_unique<net::Network>(*simulator_,
+                                            fabric.one_way_latency,
+                                            fabric.seed);
+  network_->set_loss_rate(fabric.loss_rate);
+
+  for (std::size_t w = 0; w < n_workers_; ++w) {
+    worker_nics_.push_back(network_->add_nic(
+        {fabric.worker_bandwidth_bps, fabric.worker_bandwidth_bps}));
+  }
+  for (std::size_t a = 0; a < n_aggregators_; ++a) {
+    agg_nics_.push_back(
+        deployment_ == Deployment::kColocated
+            ? worker_nics_[a]
+            : network_->add_nic({fabric.aggregator_bandwidth_bps,
+                                 fabric.aggregator_bandwidth_bps}));
+  }
+  rebuild_endpoints();
+}
+
+Session::~Session() = default;
+
+void Session::rebuild_endpoints() {
+  std::vector<net::EndpointId> worker_eps;
+  for (std::size_t w = 0; w < n_workers_; ++w) {
+    workers_.push_back(std::make_unique<Worker>(
+        cfg_, *network_, static_cast<std::uint32_t>(w)));
+    worker_eps.push_back(network_->attach(workers_.back().get(),
+                                          worker_nics_[w]));
+  }
+  std::vector<net::EndpointId> agg_eps;
+  for (std::size_t a = 0; a < n_aggregators_; ++a) {
+    aggregators_.push_back(
+        std::make_unique<Aggregator>(cfg_, *network_, n_workers_));
+    agg_eps.push_back(network_->attach(aggregators_.back().get(),
+                                       agg_nics_[a]));
+    aggregators_.back()->bind(agg_eps.back(), worker_eps);
+  }
+  worker_eps_ = std::move(worker_eps);
+  agg_eps_ = std::move(agg_eps);
+}
+
+sim::Time Session::now() const { return simulator_->now(); }
+
+RunStats Session::allreduce(std::vector<tensor::DenseTensor>& tensors,
+                            bool verify) {
+  if (tensors.size() != n_workers_) {
+    throw std::invalid_argument("tensor count != worker count");
+  }
+  const std::size_t n = tensors.front().size();
+  for (const auto& t : tensors) {
+    if (t.size() != n) throw std::invalid_argument("tensor size mismatch");
+  }
+  tensor::DenseTensor reference;
+  if (verify) reference = tensor::reference_sum(tensors);
+
+  const sim::Time t0 = simulator_->now();
+  std::vector<net::NicStats> nic_before;
+  for (net::NicId nic : worker_nics_) {
+    nic_before.push_back(network_->nic_stats(nic));
+  }
+
+  const StreamLayout layout = StreamLayout::build(n, cfg_);
+  std::vector<net::EndpointId> agg_of_stream(layout.streams.size());
+  for (auto& agg : aggregators_) agg->begin_collective();
+  for (std::size_t s = 0; s < layout.streams.size(); ++s) {
+    const std::size_t a = s % n_aggregators_;
+    agg_of_stream[s] = agg_eps_[a];
+    aggregators_[a]->add_stream(static_cast<std::uint32_t>(s),
+                                layout.streams[s]);
+  }
+  for (std::size_t w = 0; w < n_workers_; ++w) {
+    workers_[w]->bind(worker_eps_[w], agg_of_stream);
+    workers_[w]->start(tensors[w], layout, device_);
+  }
+  simulator_->run();
+  ++collectives_run_;
+
+  RunStats stats;
+  for (const auto& w : workers_) {
+    if (!w->done()) throw std::logic_error("session allreduce stalled");
+    stats.worker_finish.push_back(w->finish_time() - t0);
+    stats.worker_data_bytes.push_back(w->data_bytes_sent());
+    stats.retransmissions += w->retransmissions();
+    stats.acks += w->acks_sent();
+    stats.completion_time =
+        std::max(stats.completion_time, w->finish_time() - t0);
+  }
+  for (const auto& a : aggregators_) {
+    stats.rounds += a->rounds_completed();
+    stats.duplicate_resends += a->duplicate_resends();
+  }
+  for (std::size_t w = 0; w < n_workers_; ++w) {
+    stats.total_messages += network_->nic_stats(worker_nics_[w]).tx_messages -
+                            nic_before[w].tx_messages;
+  }
+  if (verify) {
+    double err = 0.0;
+    for (const auto& t : tensors) {
+      err = std::max(err, tensor::max_abs_diff(t, reference));
+    }
+    stats.max_error = err;
+    stats.verified = err <= 1e-4 * static_cast<double>(n_workers_);
+    if (!stats.verified) throw std::logic_error("session result mismatch");
+  }
+  return stats;
+}
+
+}  // namespace omr::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/worker.h"
+#include "device/device_model.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace omr::core {
+
+/// A persistent OmniReduce deployment: the cluster (simulator, fabric,
+/// worker and aggregator endpoints) is built once and reused for a
+/// sequence of collectives, as in training where one AllReduce runs per
+/// iteration. Virtual time is continuous across calls — per-iteration
+/// completion times are deltas. State resets between tensors follow the
+/// paper's "wait for new tensor" transition (Fig. 2f / Algorithm 1 line
+/// 26): fresh per-stream slots for each collective.
+///
+/// Tensors of different sizes may be reduced by the same session (the
+/// stream layout is rebuilt per call); the worker/aggregator topology and
+/// NIC state persist.
+class Session {
+ public:
+  Session(const Config& cfg, const FabricConfig& fabric,
+          Deployment deployment, std::size_t n_workers,
+          std::size_t n_aggregator_nodes, const device::DeviceModel& device);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Reduce `tensors` (one per worker, equal sizes) in place. Returns the
+  /// per-call statistics; completion_time is the duration of this call
+  /// (not the absolute virtual time).
+  RunStats allreduce(std::vector<tensor::DenseTensor>& tensors,
+                     bool verify = true);
+
+  std::size_t n_workers() const { return n_workers_; }
+  /// Absolute virtual time consumed so far.
+  sim::Time now() const;
+  std::size_t collectives_run() const { return collectives_run_; }
+
+ private:
+  void rebuild_endpoints();
+
+  Config cfg_;
+  FabricConfig fabric_cfg_;
+  Deployment deployment_;
+  std::size_t n_workers_;
+  std::size_t n_aggregators_;
+  device::DeviceModel device_;
+
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<net::NicId> worker_nics_;
+  std::vector<net::NicId> agg_nics_;
+  // Workers and aggregators persist across collectives; per-tensor state
+  // is reset in Worker::start / Aggregator::begin_collective.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<Aggregator>> aggregators_;
+  std::vector<net::EndpointId> worker_eps_;
+  std::vector<net::EndpointId> agg_eps_;
+  std::size_t collectives_run_ = 0;
+};
+
+}  // namespace omr::core

@@ -1,0 +1,258 @@
+#include "core/sparse_kv.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "net/network.h"
+
+namespace omr::core {
+
+namespace {
+
+constexpr std::int64_t kInfKey = std::numeric_limits<std::int64_t>::max();
+
+/// Block of key-value pairs, worker -> aggregator (Algorithm 3 packet).
+struct KvPacket final : net::Message {
+  std::uint32_t wid = 0;
+  std::vector<std::int32_t> keys;
+  std::vector<float> values;
+  std::int64_t nextkey = kInfKey;
+  std::size_t header_bytes = 64;
+  std::size_t wire_bytes() const override {
+    return header_bytes + keys.size() * 8 + 8;  // pairs + nextkey
+  }
+};
+
+/// Aggregated prefix, aggregator -> workers.
+struct KvResult final : net::Message {
+  std::vector<std::int32_t> keys;
+  std::vector<float> values;
+  std::int64_t nextkey = kInfKey;  // send_up_to watermark
+  std::size_t header_bytes = 64;
+  std::size_t wire_bytes() const override {
+    return header_bytes + keys.size() * 8 + 8;
+  }
+};
+
+class KvAggregator final : public net::Endpoint {
+ public:
+  KvAggregator(net::Network& net, std::size_t n_workers,
+               std::size_t header_bytes)
+      : net_(net), header_bytes_(header_bytes) {
+    nextkey_.assign(n_workers, std::numeric_limits<std::int64_t>::min());
+  }
+  void bind(net::EndpointId self, std::vector<net::EndpointId> workers) {
+    self_ = self;
+    workers_ = std::move(workers);
+  }
+  std::uint64_t rounds() const { return rounds_; }
+
+  void on_message(net::EndpointId /*from*/,
+                  const net::MessagePtr& msg) override {
+    const auto* p = dynamic_cast<const KvPacket*>(msg.get());
+    if (p == nullptr) throw std::logic_error("unexpected message");
+    nextkey_[p->wid] = p->nextkey;
+    for (std::size_t i = 0; i < p->keys.size(); ++i) {
+      acc_[p->keys[i]] += p->values[i];
+    }
+    const std::int64_t send_up_to =
+        *std::min_element(nextkey_.begin(), nextkey_.end());
+    if (send_up_to > sent_) {
+      auto r = std::make_shared<KvResult>();
+      r->header_bytes = header_bytes_;
+      r->nextkey = send_up_to;
+      auto lo = acc_.lower_bound(static_cast<std::int32_t>(
+          std::max<std::int64_t>(sent_, INT32_MIN)));
+      const auto hi =
+          send_up_to >= kInfKey
+              ? acc_.end()
+              : acc_.lower_bound(static_cast<std::int32_t>(send_up_to));
+      for (auto it = lo; it != hi; ++it) {
+        r->keys.push_back(it->first);
+        r->values.push_back(it->second);
+      }
+      sent_ = send_up_to;
+      ++rounds_;
+      net::MessagePtr shared = r;
+      for (net::EndpointId w : workers_) net_.send(self_, w, shared);
+    }
+  }
+
+ private:
+  net::Network& net_;
+  std::size_t header_bytes_;
+  net::EndpointId self_ = -1;
+  std::vector<net::EndpointId> workers_;
+  std::vector<std::int64_t> nextkey_;
+  std::map<std::int32_t, float> acc_;
+  std::int64_t sent_ = std::numeric_limits<std::int64_t>::min();
+  std::uint64_t rounds_ = 0;
+};
+
+class KvWorker final : public net::Endpoint {
+ public:
+  KvWorker(net::Network& net, std::uint32_t wid,
+           const tensor::CooTensor& input, std::size_t block,
+           std::size_t header_bytes)
+      : net_(net),
+        sim_(net.simulator()),
+        wid_(wid),
+        input_(input),
+        block_(block),
+        header_bytes_(header_bytes) {
+    result_.dim = input.dim;
+  }
+  void bind(net::EndpointId self, net::EndpointId agg) {
+    self_ = self;
+    agg_ = agg;
+  }
+  void start() { send_next_block(); }
+  bool done() const { return done_; }
+  sim::Time finish_time() const { return finish_; }
+  const tensor::CooTensor& result() const { return result_; }
+  std::uint64_t pair_bytes_sent() const { return pair_bytes_; }
+
+  void on_message(net::EndpointId /*from*/,
+                  const net::MessagePtr& msg) override {
+    const auto* r = dynamic_cast<const KvResult*>(msg.get());
+    if (r == nullptr) throw std::logic_error("unexpected message");
+    result_.keys.insert(result_.keys.end(), r->keys.begin(), r->keys.end());
+    result_.values.insert(result_.values.end(), r->values.begin(),
+                          r->values.end());
+    if (r->nextkey >= kInfKey) {
+      done_ = true;
+      finish_ = sim_.now();
+      return;
+    }
+    // Only a worker whose next unsent key is the global minimum responds
+    // (Algorithm 3 line 10).
+    if (cursor_ < input_.nnz() && r->nextkey >= input_.keys[cursor_]) {
+      send_next_block();
+    }
+  }
+
+ private:
+  void send_next_block() {
+    auto p = std::make_shared<KvPacket>();
+    p->wid = wid_;
+    p->header_bytes = header_bytes_;
+    const std::size_t end = std::min(cursor_ + block_, input_.nnz());
+    p->keys.assign(input_.keys.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                   input_.keys.begin() + static_cast<std::ptrdiff_t>(end));
+    p->values.assign(
+        input_.values.begin() + static_cast<std::ptrdiff_t>(cursor_),
+        input_.values.begin() + static_cast<std::ptrdiff_t>(end));
+    cursor_ = end;
+    p->nextkey =
+        cursor_ < input_.nnz() ? input_.keys[cursor_] : kInfKey;
+    pair_bytes_ += p->keys.size() * 8;
+    net_.send(self_, agg_, std::move(p));
+  }
+
+  net::Network& net_;
+  sim::Simulator& sim_;
+  std::uint32_t wid_;
+  const tensor::CooTensor& input_;
+  std::size_t block_;
+  std::size_t header_bytes_;
+  net::EndpointId self_ = -1;
+  net::EndpointId agg_ = -1;
+  std::size_t cursor_ = 0;
+  tensor::CooTensor result_;
+  bool done_ = false;
+  sim::Time finish_ = 0;
+  std::uint64_t pair_bytes_ = 0;
+};
+
+}  // namespace
+
+SparseRunStats run_sparse_allreduce(
+    const std::vector<tensor::CooTensor>& inputs, const FabricConfig& fabric,
+    std::size_t pairs_per_block, std::size_t header_bytes,
+    std::size_t n_aggregators) {
+  if (inputs.empty()) throw std::invalid_argument("no workers");
+  if (n_aggregators == 0) throw std::invalid_argument("need an aggregator");
+  const std::size_t n_workers = inputs.size();
+  const std::size_t dim = inputs.front().dim;
+  sim::Simulator simulator;
+  net::Network network(simulator, fabric.one_way_latency, fabric.seed);
+
+  // Slice each worker's input into per-aggregator key ranges; Algorithm 3
+  // runs independently (and concurrently) per range.
+  std::vector<std::vector<tensor::CooTensor>> slices(n_aggregators);
+  for (std::size_t a = 0; a < n_aggregators; ++a) {
+    const auto lo = static_cast<std::int32_t>(dim * a / n_aggregators);
+    const auto hi = static_cast<std::int32_t>(dim * (a + 1) / n_aggregators);
+    slices[a].reserve(n_workers);
+    for (const auto& input : inputs) {
+      tensor::CooTensor s;
+      s.dim = dim;
+      const auto begin =
+          std::lower_bound(input.keys.begin(), input.keys.end(), lo);
+      const auto end =
+          std::lower_bound(input.keys.begin(), input.keys.end(), hi);
+      s.keys.assign(begin, end);
+      s.values.assign(input.values.begin() + (begin - input.keys.begin()),
+                      input.values.begin() + (end - input.keys.begin()));
+      slices[a].push_back(std::move(s));
+    }
+  }
+
+  std::vector<std::unique_ptr<KvAggregator>> aggs;
+  std::vector<net::EndpointId> agg_eps;
+  for (std::size_t a = 0; a < n_aggregators; ++a) {
+    aggs.push_back(std::make_unique<KvAggregator>(network, n_workers,
+                                                  header_bytes));
+    const net::NicId nic = network.add_nic(
+        {fabric.aggregator_bandwidth_bps, fabric.aggregator_bandwidth_bps});
+    agg_eps.push_back(network.attach(aggs.back().get(), nic));
+  }
+
+  // One protocol endpoint per (worker, range); endpoints of the same worker
+  // share that worker's NIC.
+  std::vector<std::unique_ptr<KvWorker>> workers;
+  std::vector<std::vector<net::EndpointId>> worker_eps(n_aggregators);
+  std::vector<net::NicId> worker_nics;
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    worker_nics.push_back(network.add_nic(
+        {fabric.worker_bandwidth_bps, fabric.worker_bandwidth_bps}));
+  }
+  for (std::size_t a = 0; a < n_aggregators; ++a) {
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      workers.push_back(std::make_unique<KvWorker>(
+          network, static_cast<std::uint32_t>(w), slices[a][w],
+          pairs_per_block, header_bytes));
+      const net::EndpointId ep =
+          network.attach(workers.back().get(), worker_nics[w]);
+      worker_eps[a].push_back(ep);
+      workers.back()->bind(ep, agg_eps[a]);
+    }
+    aggs[a]->bind(agg_eps[a], worker_eps[a]);
+  }
+  for (auto& w : workers) w->start();
+  simulator.run();
+
+  SparseRunStats stats;
+  for (auto& w : workers) {
+    if (!w->done()) throw std::logic_error("sparse allreduce stalled");
+    stats.completion_time = std::max(stats.completion_time, w->finish_time());
+    stats.pair_bytes_sent += w->pair_bytes_sent();
+  }
+  // Worker 0's per-range results, concatenated in range order, form the
+  // reduced tensor (ranges are contiguous and internally sorted).
+  stats.result.dim = dim;
+  for (std::size_t a = 0; a < n_aggregators; ++a) {
+    const tensor::CooTensor& r = workers[a * n_workers]->result();
+    stats.result.keys.insert(stats.result.keys.end(), r.keys.begin(),
+                             r.keys.end());
+    stats.result.values.insert(stats.result.values.end(), r.values.begin(),
+                               r.values.end());
+    stats.rounds += aggs[a]->rounds();
+  }
+  return stats;
+}
+
+}  // namespace omr::core

@@ -1,0 +1,250 @@
+#include "core/worker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace omr::core {
+
+Worker::Worker(const Config& cfg, net::Network& net, std::uint32_t wid)
+    : cfg_(cfg), net_(net), sim_(net.simulator()), wid_(wid) {}
+
+void Worker::bind(net::EndpointId self,
+                  std::vector<net::EndpointId> agg_of_stream) {
+  self_ = self;
+  agg_of_stream_ = std::move(agg_of_stream);
+}
+
+void Worker::start(tensor::DenseTensor& tensor, const StreamLayout& layout,
+                   const device::DeviceModel& device) {
+  tensor_ = &tensor;
+  layout_ = &layout;
+  device_ = device;
+  if (!cfg_.dense_mode) {
+    bitmap_ = tensor::BlockBitmap(tensor.span(), cfg_.block_size);
+  }
+  // Sessions reuse workers across collectives: all timing is relative to
+  // the virtual time at which this collective starts.
+  call_start_ = sim_.now();
+  start_time_ = call_start_ + (cfg_.charge_bitmap_cost
+                                   ? device_.bitmap_cost(tensor.size(),
+                                                         cfg_.block_size)
+                                   : 0);
+  states_.assign(layout.streams.size(), StreamState{});
+  streams_done_ = 0;
+  finish_time_ = 0;
+  data_bytes_sent_ = 0;
+  packets_sent_ = 0;
+  acks_sent_ = 0;
+  announcements_sent_ = 0;
+  retransmissions_ = 0;
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    states_[s].my_next.assign(layout.streams[s].columns, tensor::kNoBlock);
+    send_initial(s);
+  }
+  if (states_.empty()) {
+    // Degenerate empty tensor: nothing to do.
+    finish_time_ = start_time_;
+  }
+}
+
+tensor::BlockIndex Worker::scan_next(std::size_t stream, std::size_t column,
+                                     tensor::BlockIndex after) const {
+  const StreamInfo& info = layout_->streams[stream];
+  const auto blocks = static_cast<tensor::BlockIndex>(info.blocks());
+  const auto width = static_cast<tensor::BlockIndex>(layout_->width);
+  for (tensor::BlockIndex b = after + width; b < blocks; b += width) {
+    if (cfg_.dense_mode ||
+        bitmap_.nonzero(static_cast<tensor::BlockIndex>(info.block_lo) + b)) {
+      return b;
+    }
+  }
+  (void)column;
+  return tensor::kNoBlock;
+}
+
+void Worker::read_block(std::size_t stream, tensor::BlockIndex block,
+                        std::vector<float>& out) const {
+  const StreamInfo& info = layout_->streams[stream];
+  const std::size_t global =
+      info.block_lo + static_cast<std::size_t>(block);
+  const std::size_t lo = global * cfg_.block_size;
+  const std::size_t hi = std::min(lo + cfg_.block_size, tensor_->size());
+  out.assign(cfg_.block_size, 0.0f);
+  std::copy(tensor_->values().begin() + static_cast<std::ptrdiff_t>(lo),
+            tensor_->values().begin() + static_cast<std::ptrdiff_t>(hi),
+            out.begin());
+}
+
+void Worker::write_block(std::size_t stream, const ColumnBlock& cb) {
+  const StreamInfo& info = layout_->streams[stream];
+  const std::size_t global =
+      info.block_lo + static_cast<std::size_t>(cb.block);
+  const std::size_t lo = global * cfg_.block_size;
+  const std::size_t hi = std::min(lo + cfg_.block_size, tensor_->size());
+  for (std::size_t i = lo; i < hi; ++i) {
+    (*tensor_)[i] = cb.data[i - lo];
+  }
+}
+
+sim::Time Worker::staging_deadline(const DataPacket& pkt) const {
+  if (device_.gdr || pkt.columns.empty()) return 0;
+  std::size_t max_byte = 0;
+  const StreamInfo& info = layout_->streams[pkt.stream];
+  for (const ColumnBlock& cb : pkt.columns) {
+    const std::size_t global =
+        info.block_lo + static_cast<std::size_t>(cb.block);
+    const std::size_t end =
+        std::min((global + 1) * cfg_.block_size, tensor_->size()) * 4;
+    max_byte = std::max(max_byte, end > 0 ? end - 1 : 0);
+  }
+  return call_start_ + device_.chunk_ready(max_byte);
+}
+
+void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
+                         bool is_bootstrap) {
+  const sim::Time ready = std::max(
+      {sim_.now(), start_time_, staging_deadline(*pkt)});
+  StreamState& st = states_[stream];
+  st.last_sent = pkt;
+  for (const ColumnBlock& cb : pkt->columns) {
+    data_bytes_sent_ += cb.data.size() * cfg_.value_bytes;
+  }
+  if (is_bootstrap) {
+    ++announcements_sent_;
+  } else if (pkt->columns.empty()) {
+    ++acks_sent_;
+  } else {
+    ++packets_sent_;
+  }
+  const net::EndpointId agg = agg_of_stream_[stream];
+  if (ready <= sim_.now()) {
+    net_.send(self_, agg, pkt);
+    arm_timer(stream);
+  } else {
+    sim_.schedule_at(ready, [this, stream, agg, pkt]() {
+      net_.send(self_, agg, pkt);
+      arm_timer(stream);
+    });
+  }
+}
+
+void Worker::arm_timer(std::size_t stream) {
+  if (!cfg_.loss_recovery) return;
+  StreamState& st = states_[stream];
+  if (st.timer != 0) sim_.cancel(st.timer);
+  st.timer = sim_.schedule_after(cfg_.retransmit_timeout,
+                                 [this, stream]() { on_timeout(stream); });
+}
+
+void Worker::on_timeout(std::size_t stream) {
+  StreamState& st = states_[stream];
+  st.timer = 0;
+  if (st.done || !st.last_sent) return;
+  ++retransmissions_;
+  net_.send(self_, agg_of_stream_[stream], st.last_sent);
+  arm_timer(stream);
+}
+
+void Worker::send_initial(std::size_t stream) {
+  const StreamInfo& info = layout_->streams[stream];
+  StreamState& st = states_[stream];
+  auto pkt = std::make_shared<DataPacket>();
+  pkt->stream = static_cast<std::uint32_t>(stream);
+  pkt->ver = 0;
+  pkt->wid = wid_;
+  pkt->header_bytes = cfg_.header_bytes;
+  pkt->per_block_meta_bytes = cfg_.per_block_meta_bytes;
+  pkt->value_bytes = cfg_.value_bytes;
+  pkt->next.resize(info.columns);
+  // Bootstrap round: announce the first non-zero block of every column
+  // with no payload. (Algorithm 1 instead transmits block 0 of the single
+  // column unconditionally; with Block Fusion that would ship w dense
+  // blocks per stream regardless of sparsity, so we bootstrap with pure
+  // metadata — one extra round trip, zero data.)
+  for (std::size_t c = 0; c < info.columns; ++c) {
+    // scan_next looks strictly past its argument; start one stride before
+    // row 0 so the row-0 block of the column is itself a candidate.
+    st.my_next[c] = scan_next(
+        stream, c,
+        static_cast<tensor::BlockIndex>(c) -
+            static_cast<tensor::BlockIndex>(layout_->width));
+    pkt->next[c] = st.my_next[c];
+  }
+  send_packet(stream, std::move(pkt), /*is_bootstrap=*/true);
+}
+
+void Worker::on_message(net::EndpointId /*from*/, const net::MessagePtr& msg) {
+  const auto* result = dynamic_cast<const ResultPacket*>(msg.get());
+  if (result == nullptr) {
+    throw std::logic_error("worker received non-result message");
+  }
+  handle_result(*result);
+}
+
+void Worker::handle_result(const ResultPacket& r) {
+  StreamState& st = states_[r.stream];
+  if (st.done) return;  // duplicate final result (Algorithm 2 retransmission)
+  if (cfg_.loss_recovery && r.ver != st.expect_ver) {
+    // Stale duplicate of an already-processed result (our spurious timeout
+    // triggered an aggregator resend). Responding to it with our *current*
+    // next-block state would let a zero-payload ack stand in for a lost
+    // data packet and silently drop our contribution — ignore instead; the
+    // outstanding-packet timer still covers any real loss.
+    return;
+  }
+  st.expect_ver ^= 1;
+  if (st.timer != 0) {
+    sim_.cancel(st.timer);
+    st.timer = 0;
+  }
+  for (const ColumnBlock& cb : r.columns) {
+    write_block(r.stream, cb);
+  }
+  const bool all_finished = std::all_of(
+      r.request.begin(), r.request.end(),
+      [](tensor::BlockIndex b) { return b == tensor::kNoBlock; });
+  if (all_finished) {
+    note_stream_done(r.stream);
+    return;
+  }
+  auto pkt = std::make_shared<DataPacket>();
+  pkt->stream = r.stream;
+  pkt->ver = static_cast<std::uint8_t>((r.ver + 1) & 1);
+  pkt->wid = wid_;
+  pkt->header_bytes = cfg_.header_bytes;
+  pkt->per_block_meta_bytes = cfg_.per_block_meta_bytes;
+  pkt->value_bytes = cfg_.value_bytes;
+  for (std::size_t c = 0; c < r.request.size(); ++c) {
+    if (r.request[c] != tensor::kNoBlock && r.request[c] == st.my_next[c]) {
+      ColumnBlock cb;
+      cb.column = static_cast<std::uint32_t>(c);
+      cb.block = st.my_next[c];
+      read_block(r.stream, cb.block, cb.data);
+      pkt->columns.push_back(std::move(cb));
+      st.my_next[c] = scan_next(r.stream, c, st.my_next[c]);
+    }
+  }
+  pkt->next = st.my_next;
+  if (!pkt->columns.empty() || cfg_.loss_recovery) {
+    // Algorithm 1: only owners respond. Algorithm 2: everyone responds, a
+    // payload-less ack when no requested block is owned.
+    send_packet(r.stream, std::move(pkt));
+  }
+}
+
+void Worker::note_stream_done(std::size_t stream) {
+  StreamState& st = states_[stream];
+  st.done = true;
+  st.last_sent.reset();
+  ++streams_done_;
+  if (done()) {
+    // The protocol is complete; a non-GDR worker must additionally have
+    // finished staging the whole tensor through host memory (Appendix B).
+    const sim::Time staging =
+        call_start_ + device_.full_copy_cost(tensor_->size() * 4);
+    finish_time_ = std::max(sim_.now(), staging);
+  }
+}
+
+}  // namespace omr::core

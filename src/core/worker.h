@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/messages.h"
+#include "core/stream_layout.h"
+#include "device/device_model.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "tensor/blocks.h"
+#include "tensor/dense.h"
+
+namespace omr::core {
+
+/// OmniReduce worker: runs Algorithm 1 (reliable fabric) or Algorithm 2
+/// (lossy fabric: ack packets, retransmission timers, alternating slot
+/// versions) for every stream of the layout, with Block Fusion. The input
+/// tensor is reduced in place: aggregated blocks overwrite local data as
+/// results arrive, exactly as the paper's pseudocode does.
+class Worker final : public net::Endpoint {
+ public:
+  Worker(const Config& cfg, net::Network& net, std::uint32_t wid);
+
+  /// Wire the worker: own endpoint id and, per stream, the endpoint of the
+  /// aggregator node that owns the stream's slot.
+  void bind(net::EndpointId self, std::vector<net::EndpointId> agg_of_stream);
+
+  /// Begin the collective: computes the non-zero-block bitmap (charging the
+  /// device-model cost), then sends the initial packet of every stream.
+  /// `tensor` must outlive the run and is mutated into the reduced result.
+  void start(tensor::DenseTensor& tensor, const StreamLayout& layout,
+             const device::DeviceModel& device);
+
+  void on_message(net::EndpointId from, const net::MessagePtr& msg) override;
+
+  bool done() const { return streams_done_ == states_.size(); }
+  /// Virtual time at which this worker finished (protocol completion plus
+  /// any residual GPU->host staging; valid once done()).
+  sim::Time finish_time() const { return finish_time_; }
+
+  /// Payload bytes of block data this worker transmitted (no headers).
+  std::uint64_t data_bytes_sent() const { return data_bytes_sent_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  /// Payload-less bootstrap announcements (one per stream).
+  std::uint64_t announcements_sent() const { return announcements_sent_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct StreamState {
+    std::vector<tensor::BlockIndex> my_next;  // per column, stream-local
+    std::uint8_t expect_ver = 0;  // version of the next fresh result
+    bool done = false;
+    net::MessagePtr last_sent;  // retransmission buffer (Algorithm 2)
+    sim::EventId timer = 0;
+  };
+
+  void handle_result(const ResultPacket& r);
+  /// Next non-zero stream-local block in `column`, strictly after `after`.
+  tensor::BlockIndex scan_next(std::size_t stream, std::size_t column,
+                               tensor::BlockIndex after) const;
+  /// Copy the (zero-padded) stream-local block into `out`.
+  void read_block(std::size_t stream, tensor::BlockIndex block,
+                  std::vector<float>& out) const;
+  void write_block(std::size_t stream, const ColumnBlock& cb);
+  /// Transmit `pkt` for `stream` no earlier than the staging deadline of
+  /// its highest block; arms the retransmission timer under Algorithm 2.
+  void send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
+                   bool is_bootstrap = false);
+  void arm_timer(std::size_t stream);
+  void on_timeout(std::size_t stream);
+  void send_initial(std::size_t stream);
+  void note_stream_done(std::size_t stream);
+  /// Staging deadline: earliest time the data of `pkt` is host-resident.
+  sim::Time staging_deadline(const DataPacket& pkt) const;
+
+  Config cfg_;
+  net::Network& net_;
+  sim::Simulator& sim_;
+  std::uint32_t wid_;
+  net::EndpointId self_ = -1;
+  std::vector<net::EndpointId> agg_of_stream_;
+
+  tensor::DenseTensor* tensor_ = nullptr;
+  const StreamLayout* layout_ = nullptr;
+  device::DeviceModel device_;
+  tensor::BlockBitmap bitmap_;
+  sim::Time call_start_ = 0;  // virtual time when start() was called
+  sim::Time start_time_ = 0;  // protocol start (after bitmap computation)
+
+  std::vector<StreamState> states_;
+  std::size_t streams_done_ = 0;
+  sim::Time finish_time_ = 0;
+
+  std::uint64_t data_bytes_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t announcements_sent_ = 0;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace omr::core

@@ -1,0 +1,132 @@
+#include "ddl/end_to_end.h"
+
+#include <stdexcept>
+
+#include "baselines/agsparse.h"
+#include "baselines/ring.h"
+#include "baselines/switchml.h"
+#include "compress/compressors.h"
+#include "core/engine.h"
+#include "ddl/timing.h"
+#include "tensor/blocks.h"
+#include "tensor/coo.h"
+
+namespace omr::ddl {
+
+std::string to_string(CommMethod m) {
+  switch (m) {
+    case CommMethod::kNcclRing: return "NCCL(ring)";
+    case CommMethod::kOmniReduceDpdk: return "OmniReduce-DPDK";
+    case CommMethod::kOmniReduceRdma: return "OmniReduce-RDMA";
+    case CommMethod::kOmniReduceGdr: return "OmniReduce-GDR";
+    case CommMethod::kSwitchMlServer: return "SwitchML*";
+    case CommMethod::kAgSparseCompressed: return "AGsparse+1%comp";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Simulated collective time on the sampled gradients, in seconds.
+double measure_comm_s(std::vector<tensor::DenseTensor>& grads,
+                      CommMethod method, const E2EConfig& cfg) {
+  switch (method) {
+    case CommMethod::kNcclRing: {
+      baselines::BaselineConfig bc;
+      bc.bandwidth_bps = cfg.bandwidth_bps;
+      bc.seed = cfg.seed;
+      return sim::to_seconds(
+          baselines::ring_allreduce(grads, bc, /*verify=*/false)
+              .completion_time);
+    }
+    case CommMethod::kOmniReduceDpdk:
+    case CommMethod::kOmniReduceRdma:
+    case CommMethod::kOmniReduceGdr: {
+      const core::Transport t = method == CommMethod::kOmniReduceDpdk
+                                    ? core::Transport::kDpdk
+                                    : core::Transport::kRdma;
+      core::Config ec = core::Config::for_transport(t);
+      core::FabricConfig fabric;
+      fabric.worker_bandwidth_bps = cfg.bandwidth_bps;
+      fabric.aggregator_bandwidth_bps = cfg.bandwidth_bps;
+      fabric.seed = cfg.seed;
+      device::DeviceModel dev;
+      dev.gdr = method == CommMethod::kOmniReduceGdr;
+      return sim::to_seconds(
+          core::run_allreduce(grads, ec, fabric, core::Deployment::kDedicated,
+                              grads.size(), dev, /*verify=*/false)
+              .completion_time);
+    }
+    case CommMethod::kSwitchMlServer: {
+      core::FabricConfig fabric;
+      fabric.worker_bandwidth_bps = cfg.bandwidth_bps;
+      fabric.aggregator_bandwidth_bps = cfg.bandwidth_bps;
+      fabric.seed = cfg.seed;
+      core::Config ec = core::Config::for_transport(core::Transport::kRdma);
+      ec.dense_mode = true;
+      device::DeviceModel dev;  // RDMA without GDR
+      return sim::to_seconds(
+          core::run_allreduce(grads, ec, fabric, core::Deployment::kDedicated,
+                              grads.size(), dev, /*verify=*/false)
+              .completion_time);
+    }
+    case CommMethod::kAgSparseCompressed: {
+      // 1% Block Top-k (s = 99%) applied per worker before AGsparse; the
+      // compression cost itself is not charged, as in the paper (§6.2.2).
+      const std::size_t nb = tensor::num_blocks(grads.front().size(), 256);
+      const std::size_t k =
+          std::max<std::size_t>(1, static_cast<std::size_t>(nb * 0.01));
+      std::vector<tensor::CooTensor> coo;
+      coo.reserve(grads.size());
+      for (const auto& g : grads) {
+        coo.push_back(
+            tensor::dense_to_coo(compress::block_top_k(g, 256, k)));
+      }
+      baselines::BaselineConfig bc;
+      bc.bandwidth_bps = cfg.bandwidth_bps;
+      bc.seed = cfg.seed;
+      std::vector<tensor::CooTensor> outs;
+      double t = sim::to_seconds(
+          baselines::agsparse_allreduce(coo, outs, bc).completion_time);
+      // Dense -> sparse format conversion is required in practice and is
+      // the dominant overhead at 100 Gbps (§6.2.2).
+      t += sim::to_seconds(
+          tensor::conversion_cost(grads.front().size(), coo.front().nnz()));
+      return t;
+    }
+  }
+  throw std::logic_error("unknown method");
+}
+
+}  // namespace
+
+E2EResult evaluate_training(const WorkloadProfile& profile, CommMethod method,
+                            const E2EConfig& cfg) {
+  sim::Rng rng(cfg.seed ^ 0xddf1);
+  std::vector<tensor::DenseTensor> grads =
+      sample_gradients(profile, cfg.n_workers, cfg.sample_elements, rng);
+  const double scale = static_cast<double>(profile.full_model_bytes) /
+                       (static_cast<double>(cfg.sample_elements) * 4.0);
+
+  // Volume accounting must precede the collective: the engines reduce the
+  // gradients in place, replacing per-worker sparsity with the union.
+  double nz = 0.0;
+  for (const auto& g : grads) {
+    nz += (1.0 - tensor::block_sparsity(g, 256)) *
+          static_cast<double>(g.size()) * 4.0;
+  }
+
+  const double t_sampled = measure_comm_s(grads, method, cfg);
+
+  E2EResult r;
+  r.t_comm_s = t_sampled * scale;
+  r.t_compute_s = profile.compute_time_s;
+  r.t_iter_s = iteration_time(r.t_compute_s, r.t_comm_s);
+  r.scaling_factor = scaling_factor(r.t_compute_s, r.t_comm_s);
+  r.throughput = throughput(r.t_compute_s, r.t_comm_s, profile.batch_size,
+                            cfg.n_workers);
+  r.comm_gbytes = nz / static_cast<double>(grads.size()) * scale / 1e9;
+  return r;
+}
+
+}  // namespace omr::ddl

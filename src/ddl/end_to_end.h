@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ddl/workloads.h"
+
+namespace omr::ddl {
+
+/// Communication method for end-to-end training evaluation (Figs. 1, 9, 10).
+enum class CommMethod {
+  kNcclRing,           // dense ring AllReduce (the baseline)
+  kOmniReduceDpdk,     // OmniReduce over lossy UDP/DPDK
+  kOmniReduceRdma,     // OmniReduce over RDMA RC (staged copies)
+  kOmniReduceGdr,      // OmniReduce over RDMA with GPU-direct
+  kSwitchMlServer,     // SwitchML*: streaming dense aggregation
+  kAgSparseCompressed  // AGsparse on 1% Block-Top-k compressed gradients
+};
+
+std::string to_string(CommMethod m);
+
+/// One workload x method x cluster evaluation.
+struct E2EResult {
+  double t_comm_s = 0.0;      // full-model gradient AllReduce time
+  double t_compute_s = 0.0;   // from the profile
+  double t_iter_s = 0.0;      // max(compute, comm) — overlap model
+  double scaling_factor = 0.0;
+  double throughput = 0.0;    // samples/s (weak scaling)
+  double comm_gbytes = 0.0;   // mean per-worker payload, extrapolated (GB)
+};
+
+struct E2EConfig {
+  std::size_t n_workers = 8;
+  double bandwidth_bps = 10e9;
+  /// Scale at which gradients are sampled and the collective simulated;
+  /// the measured time is extrapolated linearly to the full model size
+  /// (valid in the bandwidth-dominated regime of these models).
+  std::size_t sample_elements = 1u << 22;  // 16 MB
+  std::uint64_t seed = 1;
+};
+
+/// Simulate one training iteration's communication for `profile` with
+/// `method` and derive iteration time, scaling factor and throughput.
+E2EResult evaluate_training(const WorkloadProfile& profile, CommMethod method,
+                            const E2EConfig& cfg);
+
+}  // namespace omr::ddl

@@ -1,0 +1,61 @@
+#include "ddl/metrics.h"
+
+#include <stdexcept>
+
+#include "tensor/blocks.h"
+
+namespace omr::ddl {
+
+std::vector<double> overlap_breakdown(
+    const std::vector<tensor::DenseTensor>& grads, std::size_t block_size) {
+  if (grads.empty()) throw std::invalid_argument("no workers");
+  const std::size_t n = grads.size();
+  const std::size_t nb = tensor::num_blocks(grads.front().size(), block_size);
+  std::vector<std::size_t> owners(nb, 0);
+  for (const auto& g : grads) {
+    const tensor::BlockBitmap bm(g.span(), block_size);
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (bm.nonzero(static_cast<tensor::BlockIndex>(b))) ++owners[b];
+    }
+  }
+  std::vector<double> volume(n, 0.0);
+  double total = 0.0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (owners[b] == 0) continue;
+    // A position held by k workers is transmitted k times.
+    volume[owners[b] - 1] += static_cast<double>(owners[b]);
+    total += static_cast<double>(owners[b]);
+  }
+  if (total > 0) {
+    for (double& v : volume) v /= total;
+  }
+  return volume;
+}
+
+double comm_fraction(const std::vector<tensor::DenseTensor>& grads,
+                     std::size_t block_size) {
+  if (grads.empty()) throw std::invalid_argument("no workers");
+  double sum = 0.0;
+  for (const auto& g : grads) {
+    sum += 1.0 - tensor::block_sparsity(g, block_size);
+  }
+  return sum / static_cast<double>(grads.size());
+}
+
+double union_block_density(const std::vector<tensor::DenseTensor>& grads,
+                           std::size_t block_size) {
+  if (grads.empty()) throw std::invalid_argument("no workers");
+  const std::size_t nb = tensor::num_blocks(grads.front().size(), block_size);
+  std::vector<std::uint8_t> any(nb, 0);
+  for (const auto& g : grads) {
+    const tensor::BlockBitmap bm(g.span(), block_size);
+    for (std::size_t b = 0; b < nb; ++b) {
+      any[b] |= bm.nonzero(static_cast<tensor::BlockIndex>(b)) ? 1 : 0;
+    }
+  }
+  std::size_t count = 0;
+  for (auto a : any) count += a;
+  return nb > 0 ? static_cast<double>(count) / static_cast<double>(nb) : 0.0;
+}
+
+}  // namespace omr::ddl

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/dense.h"
+
+namespace omr::ddl {
+
+/// Table 2: break down OmniReduce's communication volume by how many
+/// workers share each non-zero block. Returns a vector of size N where
+/// entry k-1 is the fraction of *transmitted* blocks whose position is
+/// non-zero at exactly k workers (a position shared by k workers costs k
+/// block transmissions). Entry 0 is the paper's "None" row; entry N-1 is
+/// "All".
+std::vector<double> overlap_breakdown(
+    const std::vector<tensor::DenseTensor>& grads, std::size_t block_size);
+
+/// Per-worker communicated fraction: mean over workers of (non-zero blocks
+/// / total blocks) — Table 1's last column.
+double comm_fraction(const std::vector<tensor::DenseTensor>& grads,
+                     std::size_t block_size);
+
+/// Union block density across workers: the fraction of block positions any
+/// worker has non-zero — the number of protocol rounds OmniReduce needs.
+double union_block_density(const std::vector<tensor::DenseTensor>& grads,
+                           std::size_t block_size);
+
+}  // namespace omr::ddl

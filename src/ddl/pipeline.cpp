@@ -1,0 +1,45 @@
+#include "ddl/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace omr::ddl {
+
+PipelineResult simulate_iteration(
+    const std::vector<PipelineLayer>& layers_backward_order,
+    std::size_t bucket_bytes,
+    const std::function<double(std::size_t)>& comm_seconds,
+    double forward_seconds) {
+  if (bucket_bytes == 0) throw std::invalid_argument("bucket_bytes == 0");
+  PipelineResult r;
+  double t = forward_seconds;   // backward starts after forward
+  double comm_free = forward_seconds;
+  std::size_t pending = 0;      // bytes accumulated toward the next bucket
+
+  auto flush = [&](std::size_t bytes, double ready) {
+    if (bytes == 0) return;
+    const double start = std::max(ready, comm_free);
+    const double dur = comm_seconds(bytes);
+    r.comm_busy_seconds += dur;
+    comm_free = start + dur;
+    ++r.buckets;
+  };
+
+  for (const PipelineLayer& layer : layers_backward_order) {
+    t += layer.backward_seconds;
+    r.backward_seconds += layer.backward_seconds;
+    pending += layer.gradient_bytes;
+    while (pending >= bucket_bytes) {
+      flush(bucket_bytes, t);
+      pending -= bucket_bytes;
+    }
+  }
+  flush(pending, t);  // final partial bucket
+
+  const double end = std::max(t, comm_free);
+  r.iteration_seconds = end;
+  r.exposed_comm_seconds = std::max(0.0, end - t);
+  return r;
+}
+
+}  // namespace omr::ddl

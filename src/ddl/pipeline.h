@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace omr::ddl {
+
+/// Event-level model of DDP gradient bucketing (§5: OmniReduce plugs into
+/// PyTorch DistributedDataParallel): the backward pass produces per-layer
+/// gradients in reverse layer order; whenever `bucket_bytes` of gradients
+/// have accumulated, the bucket is handed to the collective, which
+/// processes buckets FIFO while backward continues. The iteration ends when
+/// both the backward pass and the last bucket's AllReduce finish.
+///
+/// This is the mechanism behind the `iteration_time = max(compute, comm)`
+/// model used for the end-to-end figures; `simulate_iteration` computes the
+/// exact pipelined time for a concrete layer schedule, exposing the tail
+/// effect (the last bucket can never overlap).
+struct PipelineLayer {
+  std::size_t gradient_bytes = 0;
+  double backward_seconds = 0.0;  // time to backprop this layer
+};
+
+struct PipelineResult {
+  double iteration_seconds = 0.0;
+  double backward_seconds = 0.0;   // pure compute
+  double comm_busy_seconds = 0.0;  // total collective time
+  double exposed_comm_seconds = 0.0;  // comm not hidden behind backward
+  std::size_t buckets = 0;
+};
+
+/// `comm_seconds(bytes)` gives the AllReduce time for one bucket of the
+/// given size (e.g., a closure over the perfmodel or measured engine
+/// times). Layers are processed in the order given (pass them in backward
+/// order: last layer first).
+PipelineResult simulate_iteration(
+    const std::vector<PipelineLayer>& layers_backward_order,
+    std::size_t bucket_bytes,
+    const std::function<double(std::size_t)>& comm_seconds,
+    double forward_seconds = 0.0);
+
+}  // namespace omr::ddl

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <algorithm>
+
+namespace omr::ddl {
+
+/// Iteration-time model for data-parallel SGD with a framework that
+/// overlaps gradient communication with backpropagation (PyTorch DDP
+/// bucketing): per iteration, compute and communication proceed
+/// concurrently and the slower one gates the step. This is the model that
+/// reproduces the paper's measured NCCL scaling factors (Fig. 1/9) from
+/// model sizes alone — see DESIGN.md calibration notes.
+inline double iteration_time(double t_compute_s, double t_comm_s) {
+  return std::max(t_compute_s, t_comm_s);
+}
+
+/// Scaling factor as defined in Fig. 1: sf = T*N_throughput / (N * T1) with
+/// weak scaling, which reduces to T_compute / T_iter.
+inline double scaling_factor(double t_compute_s, double t_comm_s) {
+  return t_compute_s / iteration_time(t_compute_s, t_comm_s);
+}
+
+/// Training throughput (samples/s) for a per-worker batch size under weak
+/// scaling.
+inline double throughput(double t_compute_s, double t_comm_s,
+                         std::size_t batch_per_worker, std::size_t n_workers) {
+  return static_cast<double>(batch_per_worker * n_workers) /
+         iteration_time(t_compute_s, t_comm_s);
+}
+
+}  // namespace omr::ddl

@@ -1,0 +1,81 @@
+#include "ddl/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/blocks.h"
+#include "tensor/generators.h"
+
+namespace omr::ddl {
+
+const std::vector<WorkloadProfile>& benchmark_workloads() {
+  static const std::vector<WorkloadProfile> profiles = [] {
+    std::vector<WorkloadProfile> v;
+    // DeepLight: 2.26 GB embeddings + 1.8 MB dense; 99.73% sparse
+    // gradients, 0.7% communicated at bs=256. Mostly worker-private rows
+    // with a modest hot set (Table 2: 59% unique, 14% full overlap).
+    v.push_back({"DeepLight", 2'261'800'000, 2048, 0.9992, 160, 0.007, 1.0,
+                 0.18, 0.10, 0.139, 0.9973, 0.007});
+    // LSTM (GBW): 1.52 GB embeddings, long (1024) rows; 94.5% sparse,
+    // 5.5% communicated. Heavy hot-set skew (73% full overlap).
+    v.push_back({"LSTM", 1'594'000'000, 128, 0.9536, 1024, 0.0095, 1.0, 0.80,
+                 0.50, 0.270, 0.9450, 0.055});
+    // NCF (ML-20m): short (64) rows, flat overlap distribution.
+    v.push_back({"NCF", 679'400'000, 1u << 20, 0.9994, 64, 0.41, 1.0, 0.45,
+                 3.0, 0.166, 0.846, 0.41});
+    // BERT: 1 GB dense + 284 MB embeddings; dense part fully dense so 88%
+    // of blocks travel; embedding rows are the BERT hidden size.
+    v.push_back({"BERT", 1'284'000'000, 4, 0.2212, 768, 0.457, 1.0, 0.0, 0.1,
+                 0.510, 0.0931, 0.88});
+    // VGG19 / ResNet152: no embeddings; zeros are scattered so every block
+    // is non-zero (100% communicated).
+    v.push_back({"VGG19", 548'000'000, 64, 0.0, 1, 0.0, 0.68, 0.0, 0.1,
+                 0.380, 0.320, 1.0});
+    v.push_back({"ResNet152", 230'000'000, 64, 0.0, 1, 0.0, 0.784, 0.0, 0.1,
+                 0.300, 0.216, 1.0});
+    return v;
+  }();
+  return profiles;
+}
+
+const WorkloadProfile& workload(const std::string& name) {
+  for (const auto& p : benchmark_workloads()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<tensor::DenseTensor> sample_gradients(const WorkloadProfile& p,
+                                                  std::size_t n_workers,
+                                                  std::size_t n_elements,
+                                                  sim::Rng& rng) {
+  constexpr std::size_t kBs = 256;
+  // Round the embedding region to whole rows.
+  std::size_t embed = static_cast<std::size_t>(
+      static_cast<double>(n_elements) * p.embedding_fraction);
+  embed = (embed / p.row_dim) * p.row_dim;
+  const std::size_t rows = p.row_dim > 0 ? embed / p.row_dim : 0;
+
+  std::size_t active_rows = 0;
+  if (rows > 0 && p.embed_block_density > 0.0) {
+    // Coverage model: R rows, each spanning ~c of the region's nb blocks,
+    // cover nb * (1 - (1 - c/nb)^R) blocks. Solve for R.
+    const double nb =
+        static_cast<double>(tensor::num_blocks(embed, kBs));
+    const double c = static_cast<double>(p.row_dim) / kBs + 1.0;
+    const double d = std::min(p.embed_block_density, 0.999999);
+    const double r =
+        std::log(1.0 - d) / std::log(std::max(1e-12, 1.0 - c / nb));
+    active_rows = static_cast<std::size_t>(
+        std::clamp(r, 1.0, static_cast<double>(rows)));
+  }
+  const std::size_t hot_rows = std::max<std::size_t>(
+      1, static_cast<std::size_t>(p.hot_rows_fraction *
+                                  static_cast<double>(active_rows)));
+  return tensor::make_multi_worker_embedding(
+      n_workers, n_elements, embed, std::max<std::size_t>(p.row_dim, 1),
+      active_rows, hot_rows, p.hot_fraction, p.dense_tail_density, rng);
+}
+
+}  // namespace omr::ddl

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "tensor/dense.h"
+
+namespace omr::ddl {
+
+/// Profile of one benchmark DNN workload (Table 1), plus the generator
+/// parameters that reproduce its gradient structure and the calibrated
+/// per-iteration compute time.
+///
+/// Calibration notes (documented in DESIGN.md): the compute times are
+/// back-solved from the paper's own measurements — Fig. 9 gives the NCCL
+/// scaling factor sf at 8 workers / 10 Gbps, and with the full-overlap
+/// iteration model T_iter = max(T_compute, T_comm_ring) this pins
+/// T_compute = sf * T_ring(model size). Gradient structure parameters
+/// (row span, hot-set skew) are tuned so the generated gradients match
+/// Table 1's block density at bs=256 and element sparsity, and Table 2's
+/// qualitative overlap skew.
+struct WorkloadProfile {
+  std::string name;
+  std::size_t full_model_bytes = 0;  // dense + embedding weights
+  std::size_t batch_size = 0;
+  double embedding_fraction = 0.0;   // of elements
+  std::size_t row_dim = 1;           // embedding row length (elements)
+  /// Target per-worker block density at bs=256 of the embedding region.
+  double embed_block_density = 0.0;
+  /// Element density of the non-embedding (dense) part's gradient.
+  double dense_tail_density = 1.0;
+  /// Table 2 skew: probability a sampled row comes from the hot set, and
+  /// the hot-set size as a fraction of the rows a worker activates.
+  double hot_fraction = 0.0;
+  double hot_rows_fraction = 0.1;
+  /// Calibrated single-GPU per-iteration compute time (seconds).
+  double compute_time_s = 0.1;
+  /// Table 1 reference values (for reporting / validation).
+  double table1_gradient_sparsity = 0.0;
+  double table1_comm_fraction = 1.0;  // OmniReduce comm. % of dense
+};
+
+/// The six benchmark workloads of Table 1.
+const std::vector<WorkloadProfile>& benchmark_workloads();
+
+/// Look up a workload by name (throws if unknown).
+const WorkloadProfile& workload(const std::string& name);
+
+/// Generate one gradient tensor per worker at a reduced scale of
+/// `n_elements`, reproducing the profile's sparsity structure: embedding
+/// rows activated per worker with a shared hot set, dense tail at its
+/// element density. Deterministic given `rng`.
+std::vector<tensor::DenseTensor> sample_gradients(const WorkloadProfile& p,
+                                                  std::size_t n_workers,
+                                                  std::size_t n_elements,
+                                                  sim::Rng& rng);
+
+}  // namespace omr::ddl

@@ -1,0 +1,34 @@
+#include "innet/p4_aggregator.h"
+
+namespace omr::innet {
+
+core::RunStats run_allreduce_innet(std::vector<tensor::DenseTensor>& tensors,
+                                   const P4Config& cfg) {
+  core::Config engine_cfg;
+  engine_cfg.block_size = cfg.block_size;
+  engine_cfg.packet_elements = cfg.block_size;  // one block per packet
+  engine_cfg.num_streams = cfg.num_streams;
+  engine_cfg.header_bytes = 64;  // Ethernet + IP + UDP + OmniReduce header
+  engine_cfg.switch_multicast = true;
+  engine_cfg.fixed_point = true;
+  engine_cfg.fixed_point_scale = cfg.fixed_point_scale;
+  engine_cfg.charge_bitmap_cost = true;
+
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = cfg.worker_bandwidth_bps;
+  // The switch data plane forwards at full bisection: its "NIC" never
+  // serializes slower than the sum of worker line rates.
+  fabric.aggregator_bandwidth_bps =
+      cfg.worker_bandwidth_bps * static_cast<double>(tensors.size());
+  fabric.one_way_latency = cfg.one_way_latency;
+  fabric.seed = cfg.seed;
+
+  device::DeviceModel dev;
+  dev.gdr = false;
+
+  return core::run_allreduce(tensors, engine_cfg, fabric,
+                             core::Deployment::kDedicated,
+                             /*n_aggregator_nodes=*/1, dev);
+}
+
+}  // namespace omr::innet

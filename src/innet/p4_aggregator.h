@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "core/engine.h"
+#include "tensor/dense.h"
+
+namespace omr::innet {
+
+/// In-network (P4 / Tofino) OmniReduce aggregator (§7, Fig. 18).
+///
+/// Differences from the server-based aggregator, all modelled here:
+///  * the "aggregator NIC" is the switch data plane — full bisection
+///    bandwidth (N x the worker line rate), so the switch never bottlenecks;
+///  * results are replicated by the switch's multicast engine: one TX
+///    serialization per result instead of N unicasts;
+///  * slot arithmetic is fixed-point int32 with saturation (ASICs have no
+///    floating point) — inherited SwitchML limitation;
+///  * the per-packet payload is limited by the ASIC's register-access
+///    budget: the paper evaluates 34-element and 256-element blocks.
+struct P4Config {
+  std::size_t block_size = 256;  // 34 mirrors the SwitchML-style budget
+  double worker_bandwidth_bps = 10e9;
+  sim::Time one_way_latency = sim::microseconds(5);
+  std::size_t num_streams = 256;
+  double fixed_point_scale = 1048576.0;
+  std::uint64_t seed = 1;
+};
+
+/// Run one AllReduce through the in-network aggregator. Tensors are reduced
+/// in place and verified against the serial reference (the fixed-point
+/// quantization error is within the engine's tolerance for gradient-scale
+/// values).
+core::RunStats run_allreduce_innet(std::vector<tensor::DenseTensor>& tensors,
+                                   const P4Config& cfg);
+
+}  // namespace omr::innet

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace omr::net {
+
+/// Base class for everything that travels over the simulated network.
+/// Concrete protocols define their own message structs; the network layer
+/// only needs the serialized size to model transmission time.
+struct Message {
+  virtual ~Message() = default;
+
+  /// Total on-the-wire size in bytes, including protocol headers.
+  virtual std::size_t wire_bytes() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Convenience: wrap a concrete message in a shared_ptr<const Message>.
+template <typename T, typename... Args>
+MessagePtr make_message(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+}  // namespace omr::net

@@ -1,0 +1,93 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace omr::net {
+
+Network::Network(sim::Simulator& simulator, sim::Time one_way_latency,
+                 std::uint64_t seed)
+    : sim_(simulator), latency_(one_way_latency), drop_rng_(seed) {}
+
+NicId Network::add_nic(const NicConfig& cfg) {
+  if (cfg.tx_bandwidth_bps <= 0 || cfg.rx_bandwidth_bps <= 0) {
+    throw std::invalid_argument("NIC bandwidth must be positive");
+  }
+  nics_.push_back(Nic{cfg, 0, 0, {}});
+  return static_cast<NicId>(nics_.size() - 1);
+}
+
+EndpointId Network::attach(Endpoint* endpoint, NicId nic) {
+  if (endpoint == nullptr) throw std::invalid_argument("null endpoint");
+  if (nic < 0 || nic >= static_cast<NicId>(nics_.size())) {
+    throw std::out_of_range("unknown NIC");
+  }
+  endpoints_.push_back(Attached{endpoint, nic});
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+sim::Time Network::tx_serialize(NicId nic_id, std::size_t bytes) {
+  Nic& nic = nics_[nic_id];
+  const sim::Time start = std::max(sim_.now(), nic.tx_free);
+  const sim::Time cost = sim::from_seconds(
+      static_cast<double>(bytes) * 8.0 / nic.cfg.tx_bandwidth_bps);
+  nic.tx_free = start + cost;
+  nic.stats.tx_bytes += bytes;
+  nic.stats.tx_messages += 1;
+  return nic.tx_free;
+}
+
+void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
+                      sim::Time departure) {
+  const std::size_t bytes = msg->wire_bytes();
+  const sim::Time arrival = departure + latency_;
+  if (loss_rate_ > 0.0 && drop_rng_.next_bool(loss_rate_)) {
+    nics_[endpoints_[dst].nic].stats.dropped_messages += 1;
+    ++total_dropped_;
+    if (trace_ != nullptr) {
+      trace_->push_back({departure, 0, src, dst,
+                         static_cast<std::uint32_t>(bytes), true});
+    }
+    return;
+  }
+  // RX serialization is a shared resource per NIC: model the receive side
+  // of incast (N workers into one aggregator) correctly. We reserve the RX
+  // window at send time; FIFO order per destination preserves in-order
+  // delivery between any endpoint pair.
+  Nic& dnic = nics_[endpoints_[dst].nic];
+  const sim::Time rx_start = std::max(arrival, dnic.rx_free);
+  const sim::Time rx_cost =
+      sim::from_seconds(static_cast<double>(bytes) * 8.0 /
+                        dnic.cfg.rx_bandwidth_bps) +
+      sim::from_seconds(dnic.cfg.rx_message_overhead_ns * 1e-9);
+  dnic.rx_free = rx_start + rx_cost;
+  dnic.stats.rx_bytes += bytes;
+  dnic.stats.rx_messages += 1;
+  if (trace_ != nullptr) {
+    trace_->push_back({departure, dnic.rx_free, src, dst,
+                       static_cast<std::uint32_t>(bytes), false});
+  }
+  Endpoint* receiver = endpoints_[dst].endpoint;
+  sim_.schedule_at(dnic.rx_free, [receiver, src, msg = std::move(msg)]() {
+    receiver->on_message(src, msg);
+  });
+}
+
+void Network::send(EndpointId src, EndpointId dst, MessagePtr msg) {
+  assert(src >= 0 && src < static_cast<EndpointId>(endpoints_.size()));
+  assert(dst >= 0 && dst < static_cast<EndpointId>(endpoints_.size()));
+  const sim::Time departure = tx_serialize(endpoints_[src].nic,
+                                           msg->wire_bytes());
+  deliver(src, dst, std::move(msg), departure);
+}
+
+void Network::send_switch_multicast(EndpointId src,
+                                    std::span<const EndpointId> dsts,
+                                    MessagePtr msg) {
+  const sim::Time departure = tx_serialize(endpoints_[src].nic,
+                                           msg->wire_bytes());
+  for (EndpointId dst : dsts) deliver(src, dst, msg, departure);
+}
+
+}  // namespace omr::net

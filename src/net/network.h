@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace omr::net {
+
+/// Identifies a NIC (a bandwidth-limited port on the fabric).
+using NicId = int;
+/// Identifies a protocol endpoint attached to some NIC. Several endpoints
+/// may share one NIC (e.g., a colocated aggregator on a worker machine).
+using EndpointId = int;
+
+/// Full-duplex NIC configuration. Bandwidths are in bits per second to
+/// match how the paper quotes link speeds (10 Gbps / 100 Gbps).
+struct NicConfig {
+  double tx_bandwidth_bps = 10e9;
+  double rx_bandwidth_bps = 10e9;
+  /// Host-side per-message receive processing cost (ns): models the CPU
+  /// budget of a software endpoint (a DPDK aggregator core aggregates at
+  /// most ~1/this packets per second). 0 = line-rate processing. The cost
+  /// serializes on the same receive resource as wire RX, so it binds when
+  /// packets are small.
+  double rx_message_overhead_ns = 0.0;
+};
+
+/// Per-NIC traffic accounting. Payload bytes are what Table 1 / Table 2
+/// report; message counts and drops support the loss-recovery analysis.
+struct NicStats {
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_messages = 0;
+  std::uint64_t rx_messages = 0;
+  std::uint64_t dropped_messages = 0;
+};
+
+/// A protocol endpoint: receives messages delivered by the network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Called (in virtual time) when a message addressed to this endpoint
+  /// has fully arrived.
+  virtual void on_message(EndpointId from, const MessagePtr& msg) = 0;
+};
+
+/// One traced message event (see Network::enable_trace): when the message
+/// left the sender's NIC, when it was delivered, who sent it, its size,
+/// and whether it was dropped by loss injection.
+struct TraceEvent {
+  sim::Time departure = 0;
+  sim::Time delivery = 0;  // meaningless when dropped
+  EndpointId src = -1;
+  EndpointId dst = -1;
+  std::uint32_t bytes = 0;
+  bool dropped = false;
+};
+
+/// Simulated fabric: full-duplex NICs joined by an ideal non-blocking
+/// switch with uniform one-way latency. Transmission of a B-byte message
+/// occupies the sender TX for B/tx_bw, traverses the fabric in
+/// `one_way_latency`, then occupies the receiver RX for B/rx_bw. TX and RX
+/// queues are FIFO, so delivery between any NIC pair is in order —
+/// matching RDMA RC semantics when the loss rate is zero.
+///
+/// A nonzero loss rate drops each message independently (Bernoulli, seeded)
+/// at the fabric, modelling the UDP/DPDK deployment; protocols must then
+/// run their own recovery (Algorithm 2).
+class Network {
+ public:
+  Network(sim::Simulator& simulator, sim::Time one_way_latency,
+          std::uint64_t seed = 1);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  NicId add_nic(const NicConfig& cfg);
+
+  /// Attach an endpoint (non-owning) to a NIC. The endpoint must outlive
+  /// the network or be detached by destroying the network first.
+  EndpointId attach(Endpoint* endpoint, NicId nic);
+
+  /// Independent drop probability per message (0 disables loss).
+  void set_loss_rate(double p) { loss_rate_ = p; }
+  double loss_rate() const { return loss_rate_; }
+
+  /// Unicast `msg` from `src` to `dst`.
+  void send(EndpointId src, EndpointId dst, MessagePtr msg);
+
+  /// Hardware (switch-assisted) multicast: the sender pays one TX
+  /// serialization; every receiver pays its own RX serialization. Used by
+  /// the in-network (P4) aggregator. Server-based aggregators must instead
+  /// loop over unicast sends, paying N TX serializations.
+  void send_switch_multicast(EndpointId src, std::span<const EndpointId> dsts,
+                             MessagePtr msg);
+
+  /// Record every message into `sink` (appended; caller owns the vector
+  /// and must keep it alive). Pass nullptr to disable. Intended for
+  /// debugging and timeline visualization, not for the hot path of large
+  /// benchmarks.
+  void enable_trace(std::vector<TraceEvent>* sink) { trace_ = sink; }
+
+  const NicStats& nic_stats(NicId nic) const { return nics_[nic].stats; }
+  NicStats& mutable_nic_stats(NicId nic) { return nics_[nic].stats; }
+  NicId nic_of(EndpointId ep) const { return endpoints_[ep].nic; }
+  std::uint64_t total_dropped() const { return total_dropped_; }
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Time one_way_latency() const { return latency_; }
+
+ private:
+  struct Nic {
+    NicConfig cfg;
+    sim::Time tx_free = 0;  // earliest time TX can start a new message
+    sim::Time rx_free = 0;
+    NicStats stats;
+  };
+  struct Attached {
+    Endpoint* endpoint = nullptr;
+    NicId nic = -1;
+  };
+
+  /// TX-serialize at src; returns the wire-departure completion time.
+  sim::Time tx_serialize(NicId nic, std::size_t bytes);
+  /// Schedule arrival/RX/delivery of a message departing at `departure`.
+  void deliver(EndpointId src, EndpointId dst, MessagePtr msg,
+               sim::Time departure);
+
+  sim::Simulator& sim_;
+  sim::Time latency_;
+  sim::Rng drop_rng_;
+  double loss_rate_ = 0.0;
+  std::uint64_t total_dropped_ = 0;
+  std::vector<TraceEvent>* trace_ = nullptr;
+  std::vector<Nic> nics_;
+  std::vector<Attached> endpoints_;
+};
+
+}  // namespace omr::net

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace omr::net {
+
+/// Analytic TCP throughput under random loss (Mathis et al. model):
+///   goodput <= MSS / (RTT * sqrt(2p/3)),
+/// capped at the line rate. Used to model Gloo / NCCL-over-TCP baselines in
+/// the packet-loss experiment (Fig. 21): implementing a full TCP stack in
+/// the simulator would add nothing — the figure's point is that congestion
+/// control collapses goodput at ~1% loss while OmniReduce's selective
+/// retransmission does not.
+inline double tcp_goodput_bps(double line_rate_bps, double rtt_s,
+                              double loss_rate, std::size_t mss_bytes = 1460) {
+  if (loss_rate <= 0.0) return line_rate_bps;
+  const double mathis =
+      static_cast<double>(mss_bytes) * 8.0 / (rtt_s * std::sqrt(2.0 * loss_rate / 3.0));
+  return std::min(line_rate_bps, mathis);
+}
+
+}  // namespace omr::net

@@ -1,0 +1,38 @@
+#include "perfmodel/perfmodel.h"
+
+namespace omr::perfmodel {
+
+namespace {
+double bits(double bytes) { return bytes * 8.0; }
+}  // namespace
+
+double t_ring(const ModelParams& p) {
+  const double n = static_cast<double>(p.n_workers);
+  return 2.0 * (n - 1.0) *
+         (p.alpha_s + bits(p.tensor_bytes) / (n * p.bandwidth_bps));
+}
+
+double t_agsparse(const ModelParams& p) {
+  const double n = static_cast<double>(p.n_workers);
+  return (n - 1.0) *
+         (p.alpha_s + 2.0 * p.density * bits(p.tensor_bytes) / p.bandwidth_bps);
+}
+
+double t_omnireduce(const ModelParams& p) {
+  return p.alpha_s + p.density * bits(p.tensor_bytes) / p.bandwidth_bps;
+}
+
+double t_omnireduce_colocated(const ModelParams& p) {
+  return p.alpha_s +
+         2.0 * p.density * bits(p.tensor_bytes) / p.bandwidth_bps;
+}
+
+double speedup_vs_ring(const ModelParams& p) {
+  return t_ring(p) / t_omnireduce(p);
+}
+
+double speedup_vs_agsparse(const ModelParams& p) {
+  return t_agsparse(p) / t_omnireduce(p);
+}
+
+}  // namespace omr::perfmodel

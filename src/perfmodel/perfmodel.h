@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+
+namespace omr::perfmodel {
+
+/// Closed-form communication models of §3.4 (after Patarasuk & Yuan).
+/// Times are in seconds; they ignore local-reduction cost, exactly as the
+/// paper's analysis does. `bench_model_validation` cross-checks these
+/// against the discrete-event simulation.
+struct ModelParams {
+  std::size_t n_workers = 8;
+  double bandwidth_bps = 10e9;   // full-duplex per-worker bandwidth B
+  double alpha_s = 10e-6;        // one-way latency
+  double tensor_bytes = 100e6;   // S (bytes)
+  double density = 1.0;          // D in [0, 1]
+};
+
+/// Ring AllReduce: T = 2(N-1)(alpha + S/(N*B)).
+double t_ring(const ModelParams& p);
+
+/// AGsparse AllReduce: T = (N-1)(alpha + 2*D*S/B) — gathers D*S keys and
+/// D*S values from every worker.
+double t_agsparse(const ModelParams& p);
+
+/// OmniReduce, dedicated aggregation with aggregate bandwidth N*B:
+/// T = alpha + D*S/B (pipelining masks intermediate latency).
+double t_omnireduce(const ModelParams& p);
+
+/// OmniReduce with the aggregator sharded across workers: each NIC carries
+/// both roles, halving effective bandwidth: T = alpha + 2*D*S/B.
+double t_omnireduce_colocated(const ModelParams& p);
+
+/// Speedup factors from the paper's table (bandwidth-dominated regime):
+/// vs ring = 2(N-1)/(N*D); vs AGsparse = 2(N-1).
+double speedup_vs_ring(const ModelParams& p);
+double speedup_vs_agsparse(const ModelParams& p);
+
+}  // namespace omr::perfmodel

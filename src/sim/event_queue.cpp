@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace omr::sim {
+
+EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
+  EventId id = next_id_++;
+  queue_.push(Event{t, seq_++, id, std::move(fn)});
+  ++pending_count_;
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  // Lazy cancellation: mark the id; the event is skipped when popped.
+  if (id == 0 || id >= next_id_) return false;
+  auto [it, inserted] = cancelled_.insert(id);
+  (void)it;
+  if (inserted && pending_count_ > 0) --pending_count_;
+  return inserted;
+}
+
+Time Simulator::run() { return run_until(kTimeInfinity); }
+
+Time Simulator::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.t > deadline) break;
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    --pending_count_;
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+  }
+  // Whether we stopped on an empty queue or a future event, the caller has
+  // observed that nothing fires before `deadline`: advance the clock to it.
+  if (deadline != kTimeInfinity && now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace omr::sim

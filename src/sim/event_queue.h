@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace omr::sim {
+
+/// Handle identifying a scheduled event so it can be cancelled (timers).
+using EventId = std::uint64_t;
+
+/// Discrete-event simulator: a virtual clock plus an ordered event queue.
+///
+/// Events scheduled for the same instant fire in scheduling order (FIFO),
+/// which makes runs deterministic. Protocol code is written as ordinary
+/// event-driven handlers; the simulator only decides *when* they run.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedule `fn` to run `dt` nanoseconds from now.
+  EventId schedule_after(Time dt, std::function<void()> fn) {
+    return schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Run until the queue is empty. Returns the final virtual time.
+  Time run();
+
+  /// Run until the queue is empty or `deadline` is reached.
+  Time run_until(Time deadline);
+
+  /// Number of events executed so far (for diagnostics / loop detection).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// True if no events are pending.
+  bool idle() const { return pending_count_ == 0; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;  // tie-break: FIFO at equal times
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t pending_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace omr::sim

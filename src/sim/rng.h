@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace omr::sim {
+
+/// Deterministic 64-bit PRNG (splitmix64 core). We deliberately avoid
+/// std::mt19937_64 + std::distributions in protocol/benchmark code because
+/// libstdc++ distribution implementations are not guaranteed to be stable
+/// across versions; this generator makes every run bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used here (<< 2^64) and keeps the generator branch-free.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Approximately standard-normal variate (sum of 12 uniforms, shifted).
+  /// Sufficient for synthetic-gradient generation; exactly reproducible.
+  double next_normal() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += next_double();
+    return s - 6.0;
+  }
+
+  /// Derive an independent child generator (for per-worker streams).
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace omr::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace omr::sim {
+
+/// Simulated time in nanoseconds. All timing in the simulator is integral
+/// nanoseconds so runs are exactly reproducible across platforms.
+using Time = std::int64_t;
+
+/// Sentinel for "no deadline" / "never".
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+constexpr Time nanoseconds(std::int64_t ns) { return ns; }
+constexpr Time microseconds(std::int64_t us) { return us * 1'000; }
+constexpr Time milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr Time seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Convert a (possibly fractional) duration in seconds to simulated Time,
+/// rounding up so zero-cost transfers never happen for non-empty payloads.
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * 1e9 + 0.5);
+}
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) * 1e-6;
+}
+
+}  // namespace omr::sim

@@ -1,0 +1,89 @@
+#include "tensor/blocks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace omr::tensor {
+
+std::size_t num_blocks(std::size_t n, std::size_t block_size) {
+  if (block_size == 0) throw std::invalid_argument("block_size must be > 0");
+  return (n + block_size - 1) / block_size;
+}
+
+BlockBitmap::BlockBitmap(std::span<const float> data, std::size_t block_size)
+    : block_size_(block_size) {
+  const std::size_t nb = num_blocks(data.size(), block_size);
+  bits_.assign(nb, 0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(lo + block_size, data.size());
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (data[i] != 0.0f) {
+        bits_[b] = 1;
+        break;
+      }
+    }
+  }
+}
+
+BlockIndex BlockBitmap::next_nonzero(BlockIndex from) const {
+  if (from < 0) from = 0;
+  for (std::size_t b = static_cast<std::size_t>(from); b < bits_.size(); ++b) {
+    if (bits_[b]) return static_cast<BlockIndex>(b);
+  }
+  return kNoBlock;
+}
+
+BlockIndex BlockBitmap::next_nonzero_in_column(BlockIndex from,
+                                               std::size_t column,
+                                               std::size_t stride) const {
+  if (stride == 0) throw std::invalid_argument("stride must be > 0");
+  if (from < 0) from = 0;
+  // Advance to the first index >= from in the requested column.
+  std::size_t b = static_cast<std::size_t>(from);
+  const std::size_t rem = b % stride;
+  if (rem != column) {
+    b += (column >= rem) ? (column - rem) : (stride - rem + column);
+  }
+  for (; b < bits_.size(); b += stride) {
+    if (bits_[b]) return static_cast<BlockIndex>(b);
+  }
+  return kNoBlock;
+}
+
+std::size_t BlockBitmap::nonzero_count() const {
+  return static_cast<std::size_t>(
+      std::count(bits_.begin(), bits_.end(), std::uint8_t{1}));
+}
+
+double BlockBitmap::block_sparsity() const {
+  if (bits_.empty()) return 0.0;
+  return 1.0 - static_cast<double>(nonzero_count()) /
+                   static_cast<double>(bits_.size());
+}
+
+double block_sparsity(const DenseTensor& t, std::size_t block_size) {
+  return BlockBitmap(t.span(), block_size).block_sparsity();
+}
+
+double density_within_blocks(const DenseTensor& t, std::size_t block_size) {
+  const BlockBitmap bm(t.span(), block_size);
+  std::size_t nz_blocks = 0;
+  std::size_t nz_elems = 0;
+  std::size_t elems_in_nz_blocks = 0;
+  for (std::size_t b = 0; b < bm.size(); ++b) {
+    if (!bm.nonzero(static_cast<BlockIndex>(b))) continue;
+    ++nz_blocks;
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(lo + block_size, t.size());
+    elems_in_nz_blocks += hi - lo;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (t[i] != 0.0f) ++nz_elems;
+    }
+  }
+  if (nz_blocks == 0) return 0.0;
+  return static_cast<double>(nz_elems) /
+         static_cast<double>(elems_in_nz_blocks);
+}
+
+}  // namespace omr::tensor

@@ -1,0 +1,69 @@
+#include "tensor/coo.h"
+
+#include <stdexcept>
+
+namespace omr::tensor {
+
+CooTensor dense_to_coo(const DenseTensor& t) {
+  CooTensor out;
+  out.dim = t.size();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] != 0.0f) {
+      out.keys.push_back(static_cast<std::int32_t>(i));
+      out.values.push_back(t[i]);
+    }
+  }
+  return out;
+}
+
+DenseTensor coo_to_dense(const CooTensor& t) {
+  DenseTensor out(t.dim);
+  for (std::size_t i = 0; i < t.keys.size(); ++i) {
+    out[static_cast<std::size_t>(t.keys[i])] = t.values[i];
+  }
+  return out;
+}
+
+CooTensor coo_add(const CooTensor& a, const CooTensor& b) {
+  if (a.dim != b.dim) throw std::invalid_argument("dim mismatch");
+  CooTensor out;
+  out.dim = a.dim;
+  out.keys.reserve(a.nnz() + b.nnz());
+  out.values.reserve(a.nnz() + b.nnz());
+  std::size_t i = 0, j = 0;
+  while (i < a.nnz() && j < b.nnz()) {
+    if (a.keys[i] < b.keys[j]) {
+      out.keys.push_back(a.keys[i]);
+      out.values.push_back(a.values[i]);
+      ++i;
+    } else if (a.keys[i] > b.keys[j]) {
+      out.keys.push_back(b.keys[j]);
+      out.values.push_back(b.values[j]);
+      ++j;
+    } else {
+      out.keys.push_back(a.keys[i]);
+      out.values.push_back(a.values[i] + b.values[j]);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.nnz(); ++i) {
+    out.keys.push_back(a.keys[i]);
+    out.values.push_back(a.values[i]);
+  }
+  for (; j < b.nnz(); ++j) {
+    out.keys.push_back(b.keys[j]);
+    out.values.push_back(b.values[j]);
+  }
+  return out;
+}
+
+sim::Time conversion_cost(std::size_t dense_elements, std::size_t nnz,
+                          double mem_bandwidth_Bps) {
+  // Read the dense tensor once (4 B/element), write keys+values (8 B/nnz).
+  const double bytes = static_cast<double>(dense_elements) * 4.0 +
+                       static_cast<double>(nnz) * 8.0;
+  return sim::from_seconds(bytes / mem_bandwidth_Bps);
+}
+
+}  // namespace omr::tensor

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.h"
+#include "tensor/dense.h"
+
+namespace omr::tensor {
+
+/// Sparse tensor in coordinate-list (COO) format: parallel arrays of sorted
+/// indices and values. This is the input format assumed by AGsparse and
+/// SparCML; keys are 32-bit as in the paper's cost model (c_i = 4).
+struct CooTensor {
+  std::size_t dim = 0;               // logical dense length
+  std::vector<std::int32_t> keys;    // sorted, unique
+  std::vector<float> values;         // same length as keys
+
+  std::size_t nnz() const { return keys.size(); }
+  /// Serialized size: one key + one value per non-zero.
+  std::size_t wire_bytes() const { return nnz() * (sizeof(std::int32_t) + sizeof(float)); }
+};
+
+/// Convert dense -> COO, keeping only non-zero elements (sorted by index).
+CooTensor dense_to_coo(const DenseTensor& t);
+
+/// Convert COO -> dense.
+DenseTensor coo_to_dense(const CooTensor& t);
+
+/// Merge-add two sorted COO tensors (the local reduction AGsparse/SparCML
+/// perform after gathering).
+CooTensor coo_add(const CooTensor& a, const CooTensor& b);
+
+/// Cost model for format conversion on a worker (Fig. 8): the converter
+/// scans the dense tensor and packs (or unpacks) the sparse representation.
+/// `mem_bandwidth_Bps` is the effective packing rate. The 2 GB/s default is
+/// calibrated to PyTorch's dense<->COO conversion (nonzero() + gather +
+/// host transfer), which runs far below raw memcpy speed — this rate
+/// reproduces the paper's AGsparse-with-conversion anchors (Fig. 8 and the
+/// ~2.0x @10 Gbps / ~0.3x @100 Gbps compressed-AGsparse speedups of
+/// Fig. 10).
+sim::Time conversion_cost(std::size_t dense_elements, std::size_t nnz,
+                          double mem_bandwidth_Bps = 2e9);
+
+}  // namespace omr::tensor

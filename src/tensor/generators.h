@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.h"
+#include "tensor/dense.h"
+
+namespace omr::tensor {
+
+/// How non-zero blocks are positioned across workers (§6.4.2, Fig. 17).
+enum class OverlapMode {
+  kRandom,  // each worker samples its non-zero block set independently
+  kNone,    // disjoint non-zero block sets across workers
+  kAll,     // identical non-zero block set at every worker
+};
+
+/// Generate a tensor of `n` elements where a fraction `block_sparsity` of
+/// the `block_size`-element blocks is all-zero; non-zero blocks are filled
+/// with uniform values in [-1, 1] (guaranteed non-zero). This mirrors the
+/// microbenchmark inputs of §6.1: the quoted "sparsity s%" operates at
+/// block granularity so that the protocol-visible sparsity equals s.
+DenseTensor make_block_sparse(std::size_t n, std::size_t block_size,
+                              double block_sparsity, sim::Rng& rng);
+
+/// Generate one tensor per worker with a controlled overlap pattern.
+/// With kNone, workers get disjoint block sets (requires
+/// n_workers * nnz_blocks <= total blocks). With kAll, every worker is
+/// non-zero at exactly the same blocks.
+std::vector<DenseTensor> make_multi_worker(std::size_t n_workers,
+                                           std::size_t n,
+                                           std::size_t block_size,
+                                           double block_sparsity,
+                                           OverlapMode mode, sim::Rng& rng);
+
+/// Generate a tensor with element-level i.i.d. sparsity (zeros scattered
+/// uniformly), as produced by convolutional models (VGG/ResNet rows of
+/// Fig. 16) — block sparsity collapses to ~0 at realistic block sizes.
+DenseTensor make_element_sparse(std::size_t n, double element_sparsity,
+                                sim::Rng& rng);
+
+/// Generate an embedding-style gradient: `active_rows` runs of `row_dim`
+/// contiguous non-zero elements placed at random row-aligned offsets inside
+/// the first `embedding_elements` elements; the remaining tail (the dense
+/// part of the model) is filled with `dense_tail_density` i.i.d. non-zeros.
+/// This reproduces the clustered structure that keeps block sparsity high
+/// at packet-sized blocks (Fig. 16).
+DenseTensor make_embedding_gradient(std::size_t n,
+                                    std::size_t embedding_elements,
+                                    std::size_t row_dim,
+                                    std::size_t active_rows,
+                                    double dense_tail_density, sim::Rng& rng);
+
+/// Multi-worker embedding gradients with a "hot set": each worker activates
+/// `active_rows` rows; a fraction `hot_fraction` of each worker's rows is
+/// drawn from a small shared hot set of `hot_rows` rows (all-worker
+/// overlap), the rest drawn uniformly (mostly worker-private). This yields
+/// the skewed overlap distributions of Table 2.
+std::vector<DenseTensor> make_multi_worker_embedding(
+    std::size_t n_workers, std::size_t n, std::size_t embedding_elements,
+    std::size_t row_dim, std::size_t active_rows, std::size_t hot_rows,
+    double hot_fraction, double dense_tail_density, sim::Rng& rng);
+
+}  // namespace omr::tensor

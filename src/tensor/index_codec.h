@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+
+namespace omr::tensor {
+
+/// Index encodings for sparse wire formats (§2.1 cites bitmask [60] and
+/// Bloom-filter [37] index compression as strawman improvements). The
+/// codec picks, per tensor, the cheaper of:
+///  * raw 32-bit keys: 4 bytes per non-zero;
+///  * a dense bitmask over the index space: dim/8 bytes regardless of nnz.
+/// The crossover sits at nnz = dim/32: below it raw keys win, above it the
+/// bitmask does — exactly why index compression only helps the strawman at
+/// moderate sparsity and never fixes its N-fold gather volume.
+enum class IndexEncoding {
+  kRawKeys,
+  kBitmask,
+};
+
+/// Cheapest encoding for `nnz` sorted keys over a [0, dim) index space.
+inline IndexEncoding choose_index_encoding(std::size_t nnz, std::size_t dim) {
+  return nnz * 4 <= (dim + 7) / 8 ? IndexEncoding::kRawKeys
+                                  : IndexEncoding::kBitmask;
+}
+
+/// Wire bytes of the chosen index encoding.
+inline std::size_t index_bytes(IndexEncoding enc, std::size_t nnz,
+                               std::size_t dim) {
+  switch (enc) {
+    case IndexEncoding::kRawKeys: return nnz * 4;
+    case IndexEncoding::kBitmask: return (dim + 7) / 8;
+  }
+  return nnz * 4;
+}
+
+/// Total wire bytes of a COO payload (values + best index encoding).
+inline std::size_t coo_wire_bytes_compressed(std::size_t nnz,
+                                             std::size_t dim) {
+  return nnz * 4 +
+         index_bytes(choose_index_encoding(nnz, dim), nnz, dim);
+}
+
+}  // namespace omr::tensor

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "perfmodel/perfmodel.h"
+
+namespace omr::perfmodel {
+namespace {
+
+ModelParams base() {
+  ModelParams p;
+  p.n_workers = 8;
+  p.bandwidth_bps = 10e9;
+  p.alpha_s = 10e-6;
+  p.tensor_bytes = 100e6;
+  p.density = 1.0;
+  return p;
+}
+
+TEST(PerfModel, RingMatchesClosedForm) {
+  ModelParams p = base();
+  // 2 * 7 * (1e-5 + 8e8 / 8e10) = 14 * (1e-5 + 0.01) = 0.14014 s
+  EXPECT_NEAR(t_ring(p), 0.14014, 1e-5);
+}
+
+TEST(PerfModel, OmniReduceDenseIsTensorOverBandwidth) {
+  ModelParams p = base();
+  EXPECT_NEAR(t_omnireduce(p), 1e-5 + 0.08, 1e-6);
+}
+
+TEST(PerfModel, SpeedupVsRingDense) {
+  // Dense: SU = 2(N-1)/N = 1.75 at N=8.
+  ModelParams p = base();
+  EXPECT_NEAR(speedup_vs_ring(p), 1.75, 0.01);
+}
+
+TEST(PerfModel, SpeedupGrowsWithSparsity) {
+  ModelParams p = base();
+  p.density = 0.1;
+  // SU = 2(N-1)/(N*D) = 17.5.
+  EXPECT_NEAR(speedup_vs_ring(p), 17.5, 0.2);
+  p.density = 0.01;
+  EXPECT_GT(speedup_vs_ring(p), 100.0);
+}
+
+TEST(PerfModel, SpeedupVsAgsparseIndependentOfDensity) {
+  // SU = 2(N-1) in the bandwidth regime, for any D.
+  for (double d : {1.0, 0.5, 0.05}) {
+    ModelParams p = base();
+    p.density = d;
+    EXPECT_NEAR(speedup_vs_agsparse(p), 14.0, 0.15) << "density " << d;
+  }
+}
+
+TEST(PerfModel, ColocationHalvesBandwidth) {
+  ModelParams p = base();
+  EXPECT_NEAR(t_omnireduce_colocated(p) - p.alpha_s,
+              2.0 * (t_omnireduce(p) - p.alpha_s), 1e-9);
+  // Dense colocated OmniReduce ~ ring: SU -> 2(N-1)/(2N) ~ 0.875.
+  EXPECT_NEAR(t_ring(p) / t_omnireduce_colocated(p), 0.875, 0.01);
+}
+
+TEST(PerfModel, AgsparseScalesPoorly) {
+  ModelParams p2 = base();
+  p2.n_workers = 2;
+  p2.density = 0.05;
+  ModelParams p8 = base();
+  p8.n_workers = 8;
+  p8.density = 0.05;
+  // AGsparse time grows ~(N-1); OmniReduce time is constant.
+  EXPECT_NEAR(t_agsparse(p8) / t_agsparse(p2), 7.0, 0.05);
+  EXPECT_DOUBLE_EQ(t_omnireduce(p8), t_omnireduce(p2));
+}
+
+TEST(PerfModel, VerySparseLatencyRegime) {
+  ModelParams p = base();
+  p.density = 1e-6;  // latency dominates
+  EXPECT_LT(t_omnireduce(p), 2.0 * p.alpha_s);
+  EXPECT_GT(t_ring(p), 14.0 * p.alpha_s);
+}
+
+}  // namespace
+}  // namespace omr::perfmodel

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "ddl/pipeline.h"
+
+namespace omr::ddl {
+namespace {
+
+std::vector<PipelineLayer> uniform_layers(std::size_t count,
+                                          std::size_t bytes_each,
+                                          double backward_each) {
+  return std::vector<PipelineLayer>(count,
+                                    PipelineLayer{bytes_each, backward_each});
+}
+
+TEST(Pipeline, FullOverlapWhenCommIsCheap) {
+  // Comm finishes well inside each layer's backward slot: iteration time
+  // equals pure backward time plus only the last bucket's tail.
+  auto layers = uniform_layers(10, 1 << 20, 0.010);
+  const auto comm = [](std::size_t) { return 0.001; };
+  PipelineResult r = simulate_iteration(layers, 1 << 20, comm);
+  EXPECT_EQ(r.buckets, 10u);
+  EXPECT_NEAR(r.backward_seconds, 0.100, 1e-9);
+  EXPECT_NEAR(r.iteration_seconds, 0.101, 1e-9);  // backward + 1 tail bucket
+  EXPECT_NEAR(r.exposed_comm_seconds, 0.001, 1e-9);
+}
+
+TEST(Pipeline, CommBoundWhenNetworkIsSlow) {
+  auto layers = uniform_layers(10, 1 << 20, 0.001);
+  const auto comm = [](std::size_t) { return 0.010; };
+  PipelineResult r = simulate_iteration(layers, 1 << 20, comm);
+  // First bucket ready at 1 ms; ten buckets serialize at 10 ms each.
+  EXPECT_NEAR(r.iteration_seconds, 0.001 + 0.100, 1e-9);
+  EXPECT_NEAR(r.exposed_comm_seconds, r.iteration_seconds - 0.010, 1e-9);
+}
+
+TEST(Pipeline, MaxModelIsTightForManyBuckets) {
+  // With fine buckets, iteration ~ max(backward, comm) + epsilon, which is
+  // the closed-form used by ddl::iteration_time.
+  auto layers = uniform_layers(100, 1 << 18, 0.002);
+  const auto comm = [](std::size_t bytes) {
+    return static_cast<double>(bytes) * 8.0 / 10e9 * 1.2;  // ~10 Gbps
+  };
+  PipelineResult r = simulate_iteration(layers, 1 << 18, comm);
+  const double comm_total = r.comm_busy_seconds;
+  const double lower = std::max(r.backward_seconds, comm_total);
+  EXPECT_GE(r.iteration_seconds, lower);
+  EXPECT_LE(r.iteration_seconds, lower * 1.05);
+}
+
+TEST(Pipeline, SingleBucketCannotOverlap) {
+  // One giant bucket: comm only starts after the full backward pass.
+  auto layers = uniform_layers(10, 1 << 20, 0.005);
+  const auto comm = [](std::size_t) { return 0.050; };
+  PipelineResult r = simulate_iteration(layers, 100 << 20, comm);
+  EXPECT_EQ(r.buckets, 1u);
+  EXPECT_NEAR(r.iteration_seconds, 0.050 + 0.050, 1e-9);
+  EXPECT_NEAR(r.exposed_comm_seconds, 0.050, 1e-9);
+}
+
+TEST(Pipeline, ForwardShiftsEverything) {
+  auto layers = uniform_layers(2, 1 << 20, 0.01);
+  const auto comm = [](std::size_t) { return 0.001; };
+  PipelineResult a = simulate_iteration(layers, 1 << 20, comm, 0.0);
+  PipelineResult b = simulate_iteration(layers, 1 << 20, comm, 0.5);
+  EXPECT_NEAR(b.iteration_seconds - a.iteration_seconds, 0.5, 1e-9);
+}
+
+TEST(Pipeline, ZeroBucketThrows) {
+  auto layers = uniform_layers(1, 10, 0.01);
+  EXPECT_THROW(
+      simulate_iteration(layers, 0, [](std::size_t) { return 0.0; }),
+      std::invalid_argument);
+}
+
+TEST(Pipeline, LargeLayerSplitsIntoMultipleBuckets) {
+  std::vector<PipelineLayer> layers{{10 << 20, 0.01}};
+  const auto comm = [](std::size_t bytes) {
+    return static_cast<double>(bytes) * 1e-9;
+  };
+  PipelineResult r = simulate_iteration(layers, 1 << 20, comm);
+  EXPECT_EQ(r.buckets, 10u);
+}
+
+}  // namespace
+}  // namespace omr::ddl

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/quantizers.h"
+#include "sim/rng.h"
+
+namespace omr::compress {
+namespace {
+
+using tensor::DenseTensor;
+
+DenseTensor random_dense(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  DenseTensor t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = static_cast<float>(rng.next_normal());
+  }
+  return t;
+}
+
+TEST(Qsgd, ZeroInputStaysZero) {
+  sim::Rng rng(1);
+  DenseTensor z(64);
+  EXPECT_EQ(qsgd_quantize(z, 4, rng).nnz(), 0u);
+}
+
+TEST(Qsgd, ValuesLieOnGrid) {
+  sim::Rng rng(2);
+  DenseTensor g = random_dense(256, 3);
+  const std::size_t levels = 8;
+  DenseTensor q = qsgd_quantize(g, levels, rng);
+  const double norm = g.l2_norm();
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const double level = std::abs(q[i]) / norm * static_cast<double>(levels);
+    EXPECT_NEAR(level, std::round(level), 1e-4) << i;
+    // Sign preserved (or zero).
+    if (q[i] != 0.0f) {
+      EXPECT_EQ(q[i] < 0, g[i] < 0);
+    }
+  }
+}
+
+TEST(Qsgd, UnbiasedEstimator) {
+  DenseTensor g = random_dense(64, 4);
+  sim::Rng rng(5);
+  const double bias = estimate_bias(
+      g, [&]() { return qsgd_quantize(g, 4, rng); }, 4000);
+  // Quantization step is ~norm/4 ~ 2; averaging 4000 trials shrinks the
+  // stochastic part to ~2/sqrt(4000) ~ 0.03 per coordinate.
+  EXPECT_LT(bias, 0.15);
+}
+
+TEST(Qsgd, MoreLevelsLessError) {
+  DenseTensor g = random_dense(1024, 6);
+  sim::Rng rng(7);
+  double prev = 1e30;
+  for (std::size_t levels : {1u, 4u, 16u, 64u}) {
+    DenseTensor q = qsgd_quantize(g, levels, rng);
+    double err = 0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      err += std::pow(static_cast<double>(g[i]) - q[i], 2);
+    }
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(Qsgd, BitsPerElement) {
+  EXPECT_DOUBLE_EQ(qsgd_bits_per_element(1), 2.0);   // sign + 1 bit
+  EXPECT_DOUBLE_EQ(qsgd_bits_per_element(3), 3.0);
+  EXPECT_DOUBLE_EQ(qsgd_bits_per_element(255), 9.0);
+  sim::Rng rng(8);
+  EXPECT_THROW(qsgd_quantize(DenseTensor(4), 0, rng), std::invalid_argument);
+}
+
+TEST(TernGrad, OutputsAreTernary) {
+  sim::Rng rng(9);
+  DenseTensor g = random_dense(512, 10);
+  float s = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) s = std::max(s, std::abs(g[i]));
+  DenseTensor q = terngrad_quantize(g, rng);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_TRUE(q[i] == 0.0f || std::abs(std::abs(q[i]) - s) < 1e-6f) << q[i];
+  }
+}
+
+TEST(TernGrad, Unbiased) {
+  DenseTensor g = random_dense(32, 11);
+  sim::Rng rng(12);
+  const double bias = estimate_bias(
+      g, [&]() { return terngrad_quantize(g, rng); }, 6000);
+  EXPECT_LT(bias, 0.2);
+}
+
+TEST(TernGrad, MaxMagnitudeAlwaysKept) {
+  sim::Rng rng(13);
+  DenseTensor g(std::vector<float>{0.1f, -3.0f, 0.2f});
+  DenseTensor q = terngrad_quantize(g, rng);
+  EXPECT_FLOAT_EQ(q[1], -3.0f);  // |g|/s = 1 -> kept with probability 1
+}
+
+TEST(EstimateBias, RejectsZeroTrials) {
+  DenseTensor g(4);
+  EXPECT_THROW(estimate_bias(g, [&]() { return g; }, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omr::compress

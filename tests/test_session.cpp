@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+namespace omr::core {
+namespace {
+
+using tensor::DenseTensor;
+
+Config cfg16() {
+  Config cfg;
+  cfg.block_size = 16;
+  cfg.packet_elements = 64;
+  cfg.num_streams = 8;
+  cfg.charge_bitmap_cost = false;
+  return cfg;
+}
+
+FabricConfig fab(double loss = 0.0) {
+  FabricConfig f;
+  f.one_way_latency = sim::microseconds(5);
+  f.loss_rate = loss;
+  return f;
+}
+
+device::DeviceModel gdr() {
+  device::DeviceModel d;
+  d.gdr = true;
+  return d;
+}
+
+TEST(Session, BackToBackCollectivesStayCorrect) {
+  Session session(cfg16(), fab(), Deployment::kDedicated, 4, 2, gdr());
+  sim::Rng rng(1);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto ts = tensor::make_multi_worker(4, 16 * 64, 16, 0.7,
+                                        tensor::OverlapMode::kRandom, rng);
+    RunStats st = session.allreduce(ts);
+    EXPECT_TRUE(st.verified) << "iteration " << iter;
+  }
+  EXPECT_EQ(session.collectives_run(), 10u);
+}
+
+TEST(Session, VirtualTimeAdvancesMonotonically) {
+  Session session(cfg16(), fab(), Deployment::kDedicated, 2, 1, gdr());
+  sim::Rng rng(2);
+  sim::Time prev = 0;
+  for (int iter = 0; iter < 3; ++iter) {
+    auto ts = tensor::make_multi_worker(2, 16 * 32, 16, 0.5,
+                                        tensor::OverlapMode::kRandom, rng);
+    session.allreduce(ts);
+    EXPECT_GT(session.now(), prev);
+    prev = session.now();
+  }
+}
+
+TEST(Session, PerCallStatsAreDeltas) {
+  Session session(cfg16(), fab(), Deployment::kDedicated, 3, 1, gdr());
+  sim::Rng rng(3);
+  auto a = tensor::make_multi_worker(3, 16 * 64, 16, 0.5,
+                                     tensor::OverlapMode::kRandom, rng);
+  auto b = a;
+  RunStats first = session.allreduce(a, /*verify=*/false);
+  RunStats second = session.allreduce(b, /*verify=*/false);
+  // Same workload on an idle fabric: both calls cost the same and count
+  // the same messages (counters must not accumulate across calls).
+  EXPECT_EQ(first.completion_time, second.completion_time);
+  EXPECT_EQ(first.total_messages, second.total_messages);
+}
+
+TEST(Session, VaryingTensorSizes) {
+  Session session(cfg16(), fab(), Deployment::kDedicated, 4, 2, gdr());
+  sim::Rng rng(4);
+  for (std::size_t n : {16u * 8u, 16u * 200u, 5u, 16u * 64u}) {
+    auto ts = tensor::make_multi_worker(4, n, 16, 0.5,
+                                        tensor::OverlapMode::kRandom, rng);
+    RunStats st = session.allreduce(ts);
+    EXPECT_TRUE(st.verified) << n;
+  }
+}
+
+TEST(Session, SurvivesLossAcrossIterations) {
+  Config cfg = cfg16();
+  cfg.retransmit_timeout = sim::microseconds(150);
+  Session session(cfg, fab(0.03), Deployment::kDedicated, 3, 2, gdr());
+  sim::Rng rng(5);
+  std::uint64_t retx = 0;
+  for (int iter = 0; iter < 8; ++iter) {
+    auto ts = tensor::make_multi_worker(3, 16 * 128, 16, 0.5,
+                                        tensor::OverlapMode::kRandom, rng);
+    RunStats st = session.allreduce(ts);
+    EXPECT_TRUE(st.verified);
+    retx += st.retransmissions;
+  }
+  EXPECT_GT(retx, 0u);
+}
+
+TEST(Session, ColocatedDeployment) {
+  Session session(cfg16(), fab(), Deployment::kColocated, 4, 0, gdr());
+  sim::Rng rng(6);
+  auto ts = tensor::make_multi_worker(4, 16 * 64, 16, 0.5,
+                                      tensor::OverlapMode::kRandom, rng);
+  EXPECT_TRUE(session.allreduce(ts).verified);
+}
+
+
+TEST(Session, DeterministicReductionAcrossIterations) {
+  Config cfg = cfg16();
+  cfg.deterministic_reduction = true;
+  std::vector<DenseTensor> first_results;
+  for (int run = 0; run < 2; ++run) {
+    Session session(cfg, fab(), Deployment::kDedicated, 3, 2, gdr());
+    sim::Rng rng(42);
+    DenseTensor last;
+    for (int iter = 0; iter < 4; ++iter) {
+      auto ts = tensor::make_multi_worker(3, 16 * 64, 16, 0.5,
+                                          tensor::OverlapMode::kRandom, rng);
+      session.allreduce(ts, /*verify=*/false);
+      last = ts[0];
+    }
+    first_results.push_back(last);
+  }
+  EXPECT_EQ(first_results[0], first_results[1]);  // bit-identical replays
+}
+
+TEST(Session, RejectsBadInput) {
+  Session session(cfg16(), fab(), Deployment::kDedicated, 2, 1, gdr());
+  std::vector<DenseTensor> wrong_count(3, DenseTensor(32));
+  EXPECT_THROW(session.allreduce(wrong_count), std::invalid_argument);
+  std::vector<DenseTensor> mismatched{DenseTensor(32), DenseTensor(16)};
+  EXPECT_THROW(session.allreduce(mismatched), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omr::core

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace omr::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(milliseconds(3), 3'000'000);
+  EXPECT_EQ(microseconds(5), 5'000);
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+}
+
+TEST(Time, FromSecondsRoundsUpTinyDurations) {
+  // A 1-byte transfer must not take zero time.
+  EXPECT_GE(from_seconds(1e-10), 0);
+  EXPECT_EQ(from_seconds(0.6e-9), 1);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulator, FifoAtEqualTimes) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  std::vector<Time> fire_times;
+  s.schedule_at(10, [&] {
+    fire_times.push_back(s.now());
+    s.schedule_after(15, [&] { fire_times.push_back(s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_EQ(fire_times[0], 10);
+  EXPECT_EQ(fire_times[1], 25);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventId id = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelTwiceIsNoop) {
+  Simulator s;
+  EventId id = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(9999));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(100, [&] { ++count; });
+  s.run_until(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), 50);
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator s;
+  s.schedule_at(10, [&s] {
+    EXPECT_THROW(s.schedule_at(5, [] {}), std::invalid_argument);
+  });
+  s.run();
+}
+
+TEST(Simulator, IdleReflectsPendingEvents) {
+  Simulator s;
+  EXPECT_TRUE(s.idle());
+  EventId id = s.schedule_at(10, [] {});
+  EXPECT_FALSE(s.idle());
+  s.cancel(id);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(11);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += r.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double x = r.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(5);
+  Rng c = a.fork();
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+}  // namespace
+}  // namespace omr::sim

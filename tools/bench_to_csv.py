@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Parse bench_output.txt (the concatenated output of build/bench/*) into
+one CSV per experiment, for plotting.
+
+Usage:
+    tools/bench_to_csv.py bench_output.txt out_dir/
+
+Each "====" banner starts a section; within a section, contiguous runs of
+aligned table rows (first column 26 chars, then 12-char cells) become one
+CSV named after the banner plus a running index for multi-table figures.
+"""
+import os
+import re
+import sys
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^a-zA-Z0-9]+", "_", title).strip("_").lower()
+    return slug[:60]
+
+
+def split_row(line: str) -> list[str]:
+    # bench_util.h prints: %-26s then %12s cells.
+    first = line[:26].strip()
+    rest = line[26:]
+    cells = [rest[i : i + 12].strip() for i in range(0, len(rest), 12)]
+    return [first] + [c for c in cells if c]
+
+
+def looks_like_row(line: str) -> bool:
+    if len(line) < 27 or line.startswith(("===", "---", "###")):
+        return False
+    head = line[:26]
+    return bool(head.strip()) and not head.startswith(" ")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 1
+    src, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+    with open(src, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+
+    section = "preamble"
+    table: list[list[str]] = []
+    counter: dict[str, int] = {}
+    written = 0
+
+    def flush() -> None:
+        nonlocal table, written
+        if len(table) < 2:  # need header + at least one data row
+            table = []
+            return
+        counter[section] = counter.get(section, 0) + 1
+        name = f"{slugify(section)}_{counter[section]}.csv"
+        with open(os.path.join(out_dir, name), "w", encoding="utf-8") as f:
+            for row in table:
+                f.write(",".join(cell.replace(",", ";") for cell in row) + "\n")
+        written += 1
+        table = []
+
+    for i, line in enumerate(lines):
+        if line.startswith("====") and i + 1 < len(lines):
+            flush()
+            section = lines[i + 1].split("—")[0].strip() or section
+        elif looks_like_row(line):
+            table.append(split_row(line))
+        else:
+            flush()
+    flush()
+    print(f"wrote {written} CSV files to {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
