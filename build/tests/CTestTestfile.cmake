@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_innet[1]_include.cmake")
+include("/root/repo/build/tests/test_ddl[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchical[1]_include.cmake")
+include("/root/repo/build/tests/test_core_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_kv[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_quantizers[1]_include.cmake")
+include("/root/repo/build/tests/test_trainer_quantizers[1]_include.cmake")
