@@ -24,14 +24,32 @@ struct Setup {
 };
 
 double run_omni(const Setup& s, std::size_t workers, double sparsity,
-                std::size_t n, std::uint64_t seed) {
+                std::size_t n, std::uint64_t seed, bench::ReportSink& sink) {
   sim::Rng rng(seed);
   auto tensors = tensor::make_multi_worker(workers, n, 256, sparsity,
                                            tensor::OverlapMode::kRandom, rng);
-  core::RunStats st = core::run_allreduce_simple(tensors, s.transport,
-                                                 s.bandwidth, s.gdr, s.loss,
-                                                 seed);
-  return sim::to_milliseconds(st.completion_time);
+  const core::Config cfg = core::Config::for_transport(s.transport);
+  core::ClusterSpec cluster = core::ClusterSpec::dedicated(workers);
+  cluster.fabric.worker_bandwidth_bps = s.bandwidth;
+  cluster.fabric.aggregator_bandwidth_bps = s.bandwidth;
+  cluster.fabric.loss_rate = s.loss;
+  cluster.fabric.seed = seed;
+  cluster.device.gdr = s.gdr;
+  // Rolling counters + histograms only: event timelines for 100 MB runs
+  // would dwarf the report.
+  cluster.telemetry.enabled = sink.enabled();
+  cluster.telemetry.trace_events = false;
+  char label[64];
+  std::snprintf(label, sizeof(label), "fig04/%s/w%zu/s%.2f",
+                s.transport == core::Transport::kRdma ? (s.gdr ? "gdr" : "rdma")
+                                                      : "dpdk",
+                workers, sparsity);
+  telemetry::RunReport report =
+      core::run_allreduce_report(tensors, cfg, cluster, /*verify=*/true,
+                                 label);
+  const double ms = report.completion_ms();
+  sink.add(std::move(report));
+  return ms;
 }
 
 double run_nccl(double bandwidth, std::size_t workers, std::size_t n,
@@ -51,6 +69,7 @@ double run_nccl(double bandwidth, std::size_t workers, std::size_t n,
 
 int main() {
   const std::size_t n = bench::micro_tensor_elements();
+  bench::ReportSink sink;
   bench::banner("Figure 4", "AllReduce completion time on 100 MB tensors");
   std::printf("tensor: %.1f MB, block size 256, random overlap\n",
               n * 4.0 / 1e6);
@@ -72,10 +91,10 @@ int main() {
       mp.alpha_s = 10e-6;
       bench::row({std::to_string(workers),
                   bench::fmt(run_nccl(s.bandwidth, workers, n, 1)),
-                  bench::fmt(run_omni(s, workers, 0.0, n, 2)),
-                  bench::fmt(run_omni(s, workers, 0.6, n, 3)),
-                  bench::fmt(run_omni(s, workers, 0.9, n, 4)),
-                  bench::fmt(run_omni(s, workers, 0.99, n, 5)),
+                  bench::fmt(run_omni(s, workers, 0.0, n, 2, sink)),
+                  bench::fmt(run_omni(s, workers, 0.6, n, 3, sink)),
+                  bench::fmt(run_omni(s, workers, 0.9, n, 4, sink)),
+                  bench::fmt(run_omni(s, workers, 0.99, n, 5, sink)),
                   bench::fmt(perfmodel::t_ring(mp) * 1e3)});
     }
   }

@@ -20,22 +20,26 @@ constexpr double kBw = 10e9;
 constexpr std::size_t kWorkers = 8;
 
 double omni_ms(std::size_t n, double sparsity, double loss,
-               std::uint64_t seed) {
+               std::uint64_t seed, bench::ReportSink& sink) {
   sim::Rng rng(seed);
   auto ts = tensor::make_multi_worker(kWorkers, n, 256, sparsity,
                                       tensor::OverlapMode::kRandom, rng);
   core::Config cfg = core::Config::for_transport(core::Transport::kDpdk);
   cfg.retransmit_timeout = sim::microseconds(500);
-  core::FabricConfig fabric;
-  fabric.worker_bandwidth_bps = kBw;
-  fabric.aggregator_bandwidth_bps = kBw;
-  fabric.loss_rate = loss;
-  fabric.seed = seed;
-  device::DeviceModel dev;
-  return sim::to_milliseconds(
-      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated,
-                          kWorkers, dev, /*verify=*/false)
-          .completion_time);
+  core::ClusterSpec cluster = core::ClusterSpec::dedicated(kWorkers);
+  cluster.fabric.worker_bandwidth_bps = kBw;
+  cluster.fabric.aggregator_bandwidth_bps = kBw;
+  cluster.fabric.loss_rate = loss;
+  cluster.fabric.seed = seed;
+  cluster.telemetry.enabled = sink.enabled();
+  cluster.telemetry.trace_events = false;  // counters/histograms only
+  char label[64];
+  std::snprintf(label, sizeof(label), "fig21/s%.2f/loss%.4f", sparsity, loss);
+  telemetry::RunReport report = core::run_allreduce_report(
+      ts, cfg, cluster, /*verify=*/false, label);
+  const double ms = report.completion_ms();
+  sink.add(std::move(report));
+  return ms;
 }
 
 /// Ring AllReduce over a TCP stack whose goodput follows the Mathis bound.
@@ -55,22 +59,23 @@ double tcp_ring_ms(std::size_t n, double loss, double efficiency) {
 
 int main() {
   const std::size_t n = bench::micro_tensor_elements();
+  bench::ReportSink sink;
   bench::banner("Figure 21", "AllReduce time increase under packet loss");
   std::printf("tensor: %.1f MB, 8 workers, 10 Gbps; cells are\n"
               "time(loss) - time(no loss) in ms\n",
               n * 4.0 / 1e6);
   bench::row({"loss rate", "O(s=0%)", "O(s=90%)", "O(s=99%)", "Gloo",
               "NCCL-TCP"});
-  const double o0 = omni_ms(n, 0.0, 0.0, 1);
-  const double o90 = omni_ms(n, 0.9, 0.0, 2);
-  const double o99 = omni_ms(n, 0.99, 0.0, 3);
+  const double o0 = omni_ms(n, 0.0, 0.0, 1, sink);
+  const double o90 = omni_ms(n, 0.9, 0.0, 2, sink);
+  const double o99 = omni_ms(n, 0.99, 0.0, 3, sink);
   const double gloo0 = tcp_ring_ms(n, 0.0, 0.8);  // Gloo: CPU-bound stack
   const double nccl0 = tcp_ring_ms(n, 0.0, 0.95);
   for (double loss : {0.0001, 0.001, 0.01}) {
     bench::row({bench::fmt_pct(loss, 2),
-                bench::fmt(omni_ms(n, 0.0, loss, 4) - o0),
-                bench::fmt(omni_ms(n, 0.9, loss, 5) - o90),
-                bench::fmt(omni_ms(n, 0.99, loss, 6) - o99),
+                bench::fmt(omni_ms(n, 0.0, loss, 4, sink) - o0),
+                bench::fmt(omni_ms(n, 0.9, loss, 5, sink) - o90),
+                bench::fmt(omni_ms(n, 0.99, loss, 6, sink) - o99),
                 bench::fmt(tcp_ring_ms(n, loss, 0.8) - gloo0),
                 bench::fmt(tcp_ring_ms(n, loss, 0.95) - nccl0)});
   }

@@ -2,12 +2,53 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
+#include "telemetry/report.h"
 
 namespace omr::bench {
+
+/// Collects telemetry::RunReport objects and, when the OMR_REPORT_JSON
+/// environment variable names a path, writes them there as one
+/// `omnireduce.run_report_array.v1` JSON document on flush/destruction.
+/// With the variable unset the sink is disabled and add() is a no-op, so
+/// bench binaries can call it unconditionally.
+class ReportSink {
+ public:
+  ReportSink() {
+    const char* env = std::getenv("OMR_REPORT_JSON");
+    if (env != nullptr) path_ = env;
+  }
+  ~ReportSink() { flush(); }
+  ReportSink(const ReportSink&) = delete;
+  ReportSink& operator=(const ReportSink&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+  void add(telemetry::RunReport report) {
+    if (enabled()) reports_.push_back(std::move(report));
+  }
+  void flush() {
+    if (!enabled() || reports_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "OMR_REPORT_JSON: cannot write %s\n",
+                   path_.c_str());
+      return;
+    }
+    telemetry::write_report_array(reports_, out);
+    std::fprintf(stderr, "wrote %zu run report(s) to %s\n", reports_.size(),
+                 path_.c_str());
+    reports_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::vector<telemetry::RunReport> reports_;
+};
 
 /// Tensor size for microbenchmarks, in elements. The paper uses 100 MB
 /// (26.2M floats); that is the default. Override with OMR_MB=<megabytes>

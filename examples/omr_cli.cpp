@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "baselines/agsparse.h"
@@ -19,6 +20,8 @@
 #include "core/engine.h"
 #include "core/sparse_kv.h"
 #include "sim/rng.h"
+#include "telemetry/report.h"
+#include "telemetry/telemetry.h"
 #include "tensor/coo.h"
 #include "tensor/generators.h"
 
@@ -37,6 +40,8 @@ struct Options {
   bool colocated = false;
   std::size_t block_size = 256;
   std::uint64_t seed = 1;
+  std::string report_path;  // RunReport JSON (omnireduce/switchml only)
+  std::string trace_path;   // Chrome trace JSON (omnireduce/switchml only)
 };
 
 void usage() {
@@ -53,7 +58,10 @@ void usage() {
       "  --gdr              enable GPU-direct (no PCIe staging)\n"
       "  --colocated        aggregators share worker NICs\n"
       "  --block N          block size in elements (default 256)\n"
-      "  --seed N           RNG seed (default 1)\n");
+      "  --seed N           RNG seed (default 1)\n"
+      "  --report FILE      write telemetry RunReport JSON (omnireduce)\n"
+      "  --trace FILE       write Chrome trace JSON (omnireduce); load in\n"
+      "                     chrome://tracing or https://ui.perfetto.dev\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -85,6 +93,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.transport = argv[++i];
     } else if (a == "--overlap" && i + 1 < argc) {
       opt.overlap = argv[++i];
+    } else if (a == "--report" && i + 1 < argc) {
+      opt.report_path = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      opt.trace_path = argv[++i];
     } else if (a == "--gdr") {
       opt.gdr = true;
     } else if (a == "--colocated") {
@@ -124,25 +136,45 @@ int main(int argc, char** argv) {
                                 : core::Transport::kDpdk);
     cfg.block_size = opt.block_size;
     cfg.dense_mode = opt.method == "switchml";
-    core::FabricConfig fabric;
-    fabric.worker_bandwidth_bps = bw;
-    fabric.aggregator_bandwidth_bps = bw;
-    fabric.loss_rate = opt.loss;
-    fabric.seed = opt.seed;
-    device::DeviceModel dev;
-    dev.gdr = opt.gdr;
-    core::RunStats st = core::run_allreduce(
-        tensors, cfg, fabric,
-        opt.colocated ? core::Deployment::kColocated
-                      : core::Deployment::kDedicated,
-        opt.workers, dev);
+    core::ClusterSpec cluster =
+        opt.colocated ? core::ClusterSpec::colocated()
+                      : core::ClusterSpec::dedicated(opt.workers);
+    cluster.fabric.worker_bandwidth_bps = bw;
+    cluster.fabric.aggregator_bandwidth_bps = bw;
+    cluster.fabric.loss_rate = opt.loss;
+    cluster.fabric.seed = opt.seed;
+    cluster.device.gdr = opt.gdr;
+    cluster.telemetry.enabled =
+        !opt.report_path.empty() || !opt.trace_path.empty();
+    cluster.telemetry.trace_events = !opt.trace_path.empty();
+    telemetry::RunReport report = core::run_allreduce_report(
+        tensors, cfg, cluster, /*verify=*/true, opt.method);
     std::printf("%-12s %10.3f ms  payload/worker %.2f MB  msgs %llu  "
                 "retx %llu  verified=%s\n",
-                opt.method.c_str(), st.completion_ms(),
-                st.mean_worker_data_bytes() / 1e6,
-                static_cast<unsigned long long>(st.total_messages),
-                static_cast<unsigned long long>(st.retransmissions),
-                st.verified ? "yes" : "no");
+                opt.method.c_str(), report.completion_ms(),
+                report.mean_worker_data_bytes() / 1e6,
+                static_cast<unsigned long long>(report.total_messages),
+                static_cast<unsigned long long>(report.retransmissions),
+                report.verified ? "yes" : "no");
+    if (!opt.report_path.empty()) {
+      std::ofstream out(opt.report_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", opt.report_path.c_str());
+        return 1;
+      }
+      report.write_json(out);
+      std::printf("report: %s\n", opt.report_path.c_str());
+    }
+    if (!opt.trace_path.empty()) {
+      std::ofstream out(opt.trace_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", opt.trace_path.c_str());
+        return 1;
+      }
+      telemetry::write_chrome_trace(report.trace, out);
+      std::printf("trace:  %s (%zu events)\n", opt.trace_path.c_str(),
+                  report.trace.events.size());
+    }
   } else if (opt.method == "ring") {
     baselines::BaselineConfig cfg;
     cfg.bandwidth_bps = bw;

@@ -53,6 +53,9 @@ void Aggregator::add_stream(std::uint32_t stream, const StreamInfo& info) {
                                                        kMinusInfinity));
   }
   streams_.emplace(stream, std::move(st));
+  if (tracer_ != nullptr) {
+    tracer_->slot_open(pid_, net_.simulator().now(), stream);
+  }
 }
 
 void Aggregator::begin_collective() {
@@ -126,6 +129,9 @@ void Aggregator::stage(SlotState& st, std::vector<float>& slot,
                        const std::shared_ptr<const DataPacket>& p) const {
   (void)st;
   if (p->columns.empty()) return;
+  if (tracer_ != nullptr) {
+    tracer_->slot_aggregate(pid_, net_.simulator().now(), p->stream, p->wid);
+  }
   if (cfg_.deterministic_reduction) {
     pending.push_back(p);
   } else {
@@ -184,9 +190,16 @@ net::MessagePtr Aggregator::emit_result(
   }
   results_sent_ += workers_.size();
   ++rounds_completed_;
+  if (tracer_ != nullptr) {
+    tracer_->round_advance(pid_, net_.simulator().now(), stream,
+                           rounds_completed_);
+  }
   if (all_done && !st.done) {
     st.done = true;
     ++streams_done_;
+    if (tracer_ != nullptr) {
+      tracer_->slot_complete(pid_, net_.simulator().now(), stream);
+    }
   }
   return shared;
 }
@@ -226,6 +239,10 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
     if (sv.count == 0 && sv.last_result) {
       net_.send(self_, workers_[p->wid], sv.last_result);
       ++duplicate_resends_;
+      if (tracer_ != nullptr) {
+        tracer_->duplicate_resend(pid_, net_.simulator().now(), p->stream,
+                                  p->wid);
+      }
     }
     return;
   }

@@ -8,6 +8,7 @@
 #include "core/messages.h"
 #include "core/stream_layout.h"
 #include "net/network.h"
+#include "telemetry/telemetry.h"
 
 namespace omr::core {
 
@@ -22,6 +23,13 @@ class Aggregator final : public net::Endpoint {
   /// Wire the aggregator: its endpoint and the worker endpoints (indexed
   /// by worker id) used for result multicast.
   void bind(net::EndpointId self, std::vector<net::EndpointId> workers);
+
+  /// Opt-in instrumentation (nullptr = disabled, the default). `pid` is
+  /// the trace lane, typically telemetry::aggregator_pid(node_index).
+  void set_tracer(telemetry::Tracer* tracer, std::int32_t pid) {
+    tracer_ = tracer;
+    pid_ = pid;
+  }
 
   /// Register ownership of a stream's slot. Must be called for every
   /// stream routed to this node before traffic arrives.
@@ -90,6 +98,8 @@ class Aggregator final : public net::Endpoint {
   Config cfg_;
   net::Network& net_;
   std::size_t n_workers_;
+  telemetry::Tracer* tracer_ = nullptr;
+  std::int32_t pid_ = 0;
   net::EndpointId self_ = -1;
   std::vector<net::EndpointId> workers_;
   std::unordered_map<std::uint32_t, SlotState> streams_;

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "device/device_model.h"
+#include "sim/time.h"
+#include "telemetry/telemetry.h"
+
+namespace omr::core {
+
+/// Fabric parameters for one simulated cluster.
+struct FabricConfig {
+  double worker_bandwidth_bps = 10e9;
+  double aggregator_bandwidth_bps = 10e9;
+  sim::Time one_way_latency = sim::microseconds(10);
+  double loss_rate = 0.0;
+  std::uint64_t seed = 1;
+  /// Per-worker start offsets (compute skew / stragglers). Empty = all
+  /// workers enter the collective at t=0. Since every aggregation round
+  /// needs the slowest owner, OmniReduce — like any synchronous collective
+  /// — is gated by the last worker; this knob quantifies that.
+  std::vector<sim::Time> worker_start_offsets;
+  /// Per-message CPU cost at the aggregator's receive path (ns): a
+  /// software (DPDK) aggregator spends CPU per packet regardless of size;
+  /// 0 models line-rate processing. Calibrating this to ~1.2 us/packet
+  /// reproduces the paper's measured dense-DPDK parity with NCCL (their
+  /// Fig. 4; see bench_ablation_cpu_bound).
+  double aggregator_rx_overhead_ns = 0.0;
+  /// Same for the worker receive path.
+  double worker_rx_overhead_ns = 0.0;
+};
+
+/// Everything that describes *where* a collective runs, as one value: the
+/// fabric, the aggregator placement, the accelerator model and the
+/// telemetry switches. Replaces the (FabricConfig, Deployment,
+/// n_aggregator_nodes, DeviceModel) tuple previously threaded through
+/// every entry point; `Config` stays separate because it describes the
+/// *algorithm*, not the cluster.
+struct ClusterSpec {
+  FabricConfig fabric;
+  Deployment deployment = Deployment::kDedicated;
+  /// Ignored under Deployment::kColocated (one shard per worker NIC).
+  std::size_t n_aggregator_nodes = 1;
+  device::DeviceModel device;
+  /// Opt-in instrumentation; the default is fully disabled (null tracer,
+  /// zero cost on the event loop).
+  telemetry::TelemetryConfig telemetry;
+
+  /// Dedicated aggregator machines (the paper's testbed shape).
+  static ClusterSpec dedicated(std::size_t n_aggregators,
+                               const FabricConfig& fabric = {},
+                               const device::DeviceModel& device = {}) {
+    ClusterSpec spec;
+    spec.fabric = fabric;
+    spec.deployment = Deployment::kDedicated;
+    spec.n_aggregator_nodes = n_aggregators;
+    spec.device = device;
+    return spec;
+  }
+
+  /// Aggregator shards colocated on the worker NICs.
+  static ClusterSpec colocated(const FabricConfig& fabric = {},
+                               const device::DeviceModel& device = {}) {
+    ClusterSpec spec;
+    spec.fabric = fabric;
+    spec.deployment = Deployment::kColocated;
+    spec.device = device;
+    return spec;
+  }
+};
+
+}  // namespace omr::core

@@ -2,31 +2,47 @@
 
 #include <stdexcept>
 
+#include "core/session.h"
+
 namespace omr::core {
+
+RunStats run_allgather(std::vector<tensor::DenseTensor>& shards,
+                       tensor::DenseTensor& out, const Config& cfg,
+                       const ClusterSpec& cluster) {
+  if (shards.empty()) throw std::invalid_argument("no workers");
+  Session session(cfg, shards.size(), cluster);
+  return session.allgather(shards, out);
+}
+
+RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
+                       std::size_t n_workers,
+                       std::vector<tensor::DenseTensor>& outputs,
+                       const Config& cfg, const ClusterSpec& cluster) {
+  Session session(cfg, n_workers, cluster);
+  return session.broadcast(root_data, root, outputs);
+}
+
+namespace {
+ClusterSpec make_cluster(const FabricConfig& fabric, Deployment deployment,
+                         std::size_t n_aggregator_nodes,
+                         const device::DeviceModel& device) {
+  ClusterSpec cluster;
+  cluster.fabric = fabric;
+  cluster.deployment = deployment;
+  cluster.n_aggregator_nodes = n_aggregator_nodes;
+  cluster.device = device;
+  return cluster;
+}
+}  // namespace
 
 RunStats run_allgather(std::vector<tensor::DenseTensor>& shards,
                        tensor::DenseTensor& out, const Config& cfg,
                        const FabricConfig& fabric, Deployment deployment,
                        std::size_t n_aggregator_nodes,
                        const device::DeviceModel& device) {
-  if (shards.empty()) throw std::invalid_argument("no workers");
-  std::size_t total = 0;
-  for (const auto& s : shards) total += s.size();
-  // Place each worker's shard at its offset; all other positions are zero,
-  // so the engine transmits only each worker's own blocks.
-  std::vector<tensor::DenseTensor> inputs;
-  inputs.reserve(shards.size());
-  std::size_t offset = 0;
-  for (const auto& s : shards) {
-    tensor::DenseTensor t(total);
-    for (std::size_t i = 0; i < s.size(); ++i) t[offset + i] = s[i];
-    inputs.push_back(std::move(t));
-    offset += s.size();
-  }
-  RunStats stats = run_allreduce(inputs, cfg, fabric, deployment,
-                                 n_aggregator_nodes, device);
-  out = inputs.front();
-  return stats;
+  return run_allgather(
+      shards, out, cfg,
+      make_cluster(fabric, deployment, n_aggregator_nodes, device));
 }
 
 RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
@@ -36,14 +52,9 @@ RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
                        Deployment deployment,
                        std::size_t n_aggregator_nodes,
                        const device::DeviceModel& device) {
-  if (root >= n_workers) throw std::invalid_argument("bad root");
-  std::vector<tensor::DenseTensor> inputs(n_workers,
-                                          tensor::DenseTensor(root_data.size()));
-  inputs[root] = root_data;
-  RunStats stats = run_allreduce(inputs, cfg, fabric, deployment,
-                                 n_aggregator_nodes, device);
-  outputs = std::move(inputs);
-  return stats;
+  return run_broadcast(
+      root_data, root, n_workers, outputs, cfg,
+      make_cluster(fabric, deployment, n_aggregator_nodes, device));
 }
 
 }  // namespace omr::core

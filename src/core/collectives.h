@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/cluster.h"
 #include "core/engine.h"
 #include "tensor/dense.h"
 
@@ -11,6 +12,11 @@ namespace omr::core {
 /// sparse AllReduce with no block overlap; Broadcast is the degenerate case
 /// where N-1 inputs are empty. The engine's zero-block skipping makes both
 /// bandwidth-efficient without any protocol change.
+///
+/// These free functions are one-shot conveniences: each builds a temporary
+/// Session over `cluster` and runs the corresponding member collective
+/// (Session::allgather / Session::broadcast). Reuse a Session directly when
+/// running several collectives over one deployment.
 
 /// AllGather: worker w contributes `shards[w]`; on return every entry of
 /// `shards` is replaced by the concatenation of all shards (equal shard
@@ -18,12 +24,22 @@ namespace omr::core {
 /// concatenated tensor.
 RunStats run_allgather(std::vector<tensor::DenseTensor>& shards,
                        tensor::DenseTensor& out, const Config& cfg,
-                       const FabricConfig& fabric, Deployment deployment,
-                       std::size_t n_aggregator_nodes,
-                       const device::DeviceModel& device);
+                       const ClusterSpec& cluster);
 
 /// Broadcast `root_data` from worker `root` to all `n_workers` workers.
 /// `outputs[w]` receives the broadcast tensor for every w.
+RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
+                       std::size_t n_workers,
+                       std::vector<tensor::DenseTensor>& outputs,
+                       const Config& cfg, const ClusterSpec& cluster);
+
+/// \deprecated Pre-ClusterSpec 5-tuple signatures; forward to the
+/// (Config, ClusterSpec) entry points. Will be removed next PR.
+RunStats run_allgather(std::vector<tensor::DenseTensor>& shards,
+                       tensor::DenseTensor& out, const Config& cfg,
+                       const FabricConfig& fabric, Deployment deployment,
+                       std::size_t n_aggregator_nodes,
+                       const device::DeviceModel& device);
 RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
                        std::size_t n_workers,
                        std::vector<tensor::DenseTensor>& outputs,

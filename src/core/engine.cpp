@@ -10,12 +10,6 @@
 
 namespace omr::core {
 
-namespace {
-
-/// Reference reduction matching the engine's sparse semantics: per block
-/// position, fold contributing workers (all workers in dense mode, workers
-/// with a non-zero block otherwise) element-wise with the operator; block
-/// positions nobody contributes stay zero. For kSum this is the plain sum.
 tensor::DenseTensor reference_reduce(
     const std::vector<tensor::DenseTensor>& tensors, const Config& cfg) {
   if (cfg.op == ReduceOp::kSum) return tensor::reference_sum(tensors);
@@ -50,20 +44,25 @@ tensor::DenseTensor reference_reduce(
   return out;
 }
 
-}  // namespace
+namespace {
 
-RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
-                       const Config& cfg, const FabricConfig& fabric,
-                       Deployment deployment,
-                       std::size_t n_aggregator_nodes,
-                       const device::DeviceModel& device, bool verify) {
+/// Shared body of run_allreduce / run_allreduce_report. With a null
+/// `tracer` this is byte-for-byte the seed engine path: telemetry attaches
+/// only recording hooks, never simulation behavior, so results and RunStats
+/// are bit-identical either way.
+RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
+                            const Config& cfg, const ClusterSpec& cluster,
+                            bool verify, telemetry::Tracer* tracer,
+                            std::uint64_t* sim_events_out) {
+  const FabricConfig& fabric = cluster.fabric;
   if (tensors.empty()) throw std::invalid_argument("no workers");
   const std::size_t n_workers = tensors.size();
   const std::size_t n = tensors.front().size();
   for (const auto& t : tensors) {
     if (t.size() != n) throw std::invalid_argument("tensor size mismatch");
   }
-  if (deployment == Deployment::kColocated) {
+  std::size_t n_aggregator_nodes = cluster.n_aggregator_nodes;
+  if (cluster.deployment == Deployment::kColocated) {
     n_aggregator_nodes = n_workers;
   }
   if (n_aggregator_nodes == 0) {
@@ -82,6 +81,7 @@ RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
   sim::Simulator simulator;
   net::Network network(simulator, fabric.one_way_latency, fabric.seed);
   network.set_loss_rate(fabric.loss_rate);
+  network.set_tracer(tracer);
 
   const StreamLayout layout = StreamLayout::build(n, run_cfg);
 
@@ -91,14 +91,26 @@ RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
     worker_nics[w] = network.add_nic({fabric.worker_bandwidth_bps,
                                       fabric.worker_bandwidth_bps,
                                       fabric.worker_rx_overhead_ns});
+    if (tracer != nullptr) {
+      tracer->map_nic(worker_nics[w], telemetry::worker_pid(w));
+      tracer->name_process(telemetry::worker_pid(w),
+                           "worker " + std::to_string(w));
+    }
   }
   std::vector<net::NicId> agg_nics(n_aggregator_nodes);
   for (std::size_t a = 0; a < n_aggregator_nodes; ++a) {
-    agg_nics[a] = deployment == Deployment::kColocated
+    agg_nics[a] = cluster.deployment == Deployment::kColocated
                       ? worker_nics[a]
                       : network.add_nic({fabric.aggregator_bandwidth_bps,
                                          fabric.aggregator_bandwidth_bps,
                                          fabric.aggregator_rx_overhead_ns});
+    if (tracer != nullptr) {
+      tracer->name_process(telemetry::aggregator_pid(a),
+                           "aggregator " + std::to_string(a));
+      if (cluster.deployment != Deployment::kColocated) {
+        tracer->map_nic(agg_nics[a], telemetry::aggregator_pid(a));
+      }
+    }
   }
 
   std::vector<std::unique_ptr<Worker>> workers;
@@ -106,6 +118,7 @@ RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
   for (std::size_t w = 0; w < n_workers; ++w) {
     workers.push_back(std::make_unique<Worker>(
         run_cfg, network, static_cast<std::uint32_t>(w)));
+    workers.back()->set_tracer(tracer);
     worker_eps.push_back(network.attach(workers.back().get(),
                                         worker_nics[w]));
   }
@@ -113,6 +126,7 @@ RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
   std::vector<net::EndpointId> agg_eps;
   for (std::size_t a = 0; a < n_aggregator_nodes; ++a) {
     aggs.push_back(std::make_unique<Aggregator>(run_cfg, network, n_workers));
+    aggs.back()->set_tracer(tracer, telemetry::aggregator_pid(a));
     agg_eps.push_back(network.attach(aggs.back().get(), agg_nics[a]));
     aggs.back()->bind(agg_eps.back(), worker_eps);
   }
@@ -139,16 +153,18 @@ RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
                                  ? 0
                                  : fabric.worker_start_offsets[w];
     if (offset == 0) {
-      workers[w]->start(tensors[w], layout, device);
+      workers[w]->start(tensors[w], layout, cluster.device);
     } else {
       Worker* worker = workers[w].get();
       tensor::DenseTensor* t = &tensors[w];
-      simulator.schedule_at(offset, [worker, t, &layout, &device]() {
-        worker->start(*t, layout, device);
+      const device::DeviceModel* device = &cluster.device;
+      simulator.schedule_at(offset, [worker, t, &layout, device]() {
+        worker->start(*t, layout, *device);
       });
     }
   }
   simulator.run();
+  if (sim_events_out != nullptr) *sim_events_out = simulator.events_executed();
 
   RunStats stats;
   for (const auto& w : workers) {
@@ -171,6 +187,10 @@ RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
   }
   stats.dropped_messages = network.total_dropped();
 
+  if (tracer != nullptr) {
+    tracer->collective_span(0, stats.completion_time, 0);
+  }
+
   if (verify) {
     double max_err = 0.0;
     for (const auto& t : tensors) {
@@ -188,20 +208,99 @@ RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
   return stats;
 }
 
+}  // namespace
+
+RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
+                       const Config& cfg, const ClusterSpec& cluster,
+                       bool verify) {
+  return run_allreduce_impl(tensors, cfg, cluster, verify, /*tracer=*/nullptr,
+                            /*sim_events_out=*/nullptr);
+}
+
+telemetry::RunReport run_allreduce_report(
+    std::vector<tensor::DenseTensor>& tensors, const Config& cfg,
+    const ClusterSpec& cluster, bool verify, const std::string& label) {
+  const std::size_t n_workers = tensors.size();
+  const std::size_t n_elements = tensors.empty() ? 0 : tensors.front().size();
+  telemetry::Tracer tracer(cluster.telemetry);
+  telemetry::Tracer* tracer_ptr =
+      cluster.telemetry.enabled ? &tracer : nullptr;
+  std::uint64_t sim_events = 0;
+  const RunStats stats = run_allreduce_impl(tensors, cfg, cluster, verify,
+                                            tracer_ptr, &sim_events);
+  telemetry::RunReport report = make_run_report(label, stats, cluster,
+                                                n_workers, n_elements,
+                                                tracer_ptr);
+  report.sim_events_executed = sim_events;
+  return report;
+}
+
+telemetry::RunReport make_run_report(const std::string& label,
+                                     const RunStats& stats,
+                                     const ClusterSpec& cluster,
+                                     std::size_t n_workers,
+                                     std::size_t n_elements,
+                                     const telemetry::Tracer* tracer) {
+  telemetry::RunReport report;
+  report.label = label;
+  report.completion_time = stats.completion_time;
+  report.worker_finish = stats.worker_finish;
+  report.worker_data_bytes = stats.worker_data_bytes;
+  report.total_messages = stats.total_messages;
+  report.retransmissions = stats.retransmissions;
+  report.dropped_messages = stats.dropped_messages;
+  report.rounds = stats.rounds;
+  report.acks = stats.acks;
+  report.duplicate_resends = stats.duplicate_resends;
+  report.verified = stats.verified;
+  report.max_error = stats.max_error;
+  report.n_workers = n_workers;
+  report.n_aggregators = cluster.deployment == Deployment::kColocated
+                             ? n_workers
+                             : cluster.n_aggregator_nodes;
+  report.tensor_elements = n_elements;
+  if (tracer != nullptr) {
+    for (std::size_t w = 0; w < n_workers; ++w) {
+      report.traced_worker_payload_bytes +=
+          tracer->tx_payload_bytes(telemetry::worker_pid(w));
+    }
+    report.retransmit_payload_bytes = tracer->retransmit_payload_bytes();
+    report.wire_tx_bytes_total = tracer->tx_wire_bytes_total();
+    report.message_wire_bytes = tracer->message_wire_hist();
+    report.round_gap_ns = tracer->round_gap_hist();
+    report.streams = tracer->stream_timelines();
+    report.trace = tracer->snapshot_trace();
+  }
+  return report;
+}
+
+RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
+                       const Config& cfg, const FabricConfig& fabric,
+                       Deployment deployment,
+                       std::size_t n_aggregator_nodes,
+                       const device::DeviceModel& device, bool verify) {
+  ClusterSpec cluster;
+  cluster.fabric = fabric;
+  cluster.deployment = deployment;
+  cluster.n_aggregator_nodes = n_aggregator_nodes;
+  cluster.device = device;
+  return run_allreduce(tensors, cfg, cluster, verify);
+}
+
 RunStats run_allreduce_simple(std::vector<tensor::DenseTensor>& tensors,
                               Transport transport, double bandwidth_bps,
                               bool gdr, double loss_rate,
                               std::uint64_t seed) {
   const Config cfg = Config::for_transport(transport);
-  FabricConfig fabric;
-  fabric.worker_bandwidth_bps = bandwidth_bps;
-  fabric.aggregator_bandwidth_bps = bandwidth_bps;
-  fabric.loss_rate = loss_rate;
-  fabric.seed = seed;
-  device::DeviceModel device;
-  device.gdr = gdr;
-  return run_allreduce(tensors, cfg, fabric, Deployment::kDedicated,
-                       std::max<std::size_t>(tensors.size(), 1), device);
+  ClusterSpec cluster;
+  cluster.fabric.worker_bandwidth_bps = bandwidth_bps;
+  cluster.fabric.aggregator_bandwidth_bps = bandwidth_bps;
+  cluster.fabric.loss_rate = loss_rate;
+  cluster.fabric.seed = seed;
+  cluster.deployment = Deployment::kDedicated;
+  cluster.n_aggregator_nodes = std::max<std::size_t>(tensors.size(), 1);
+  cluster.device.gdr = gdr;
+  return run_allreduce(tensors, cfg, cluster);
 }
 
 }  // namespace omr::core

@@ -1,37 +1,18 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/aggregator.h"
+#include "core/cluster.h"
 #include "core/config.h"
 #include "core/worker.h"
 #include "device/device_model.h"
+#include "telemetry/report.h"
 #include "tensor/dense.h"
 
 namespace omr::core {
-
-/// Fabric parameters for one collective run (one simulated cluster).
-struct FabricConfig {
-  double worker_bandwidth_bps = 10e9;
-  double aggregator_bandwidth_bps = 10e9;
-  sim::Time one_way_latency = sim::microseconds(10);
-  double loss_rate = 0.0;
-  std::uint64_t seed = 1;
-  /// Per-worker start offsets (compute skew / stragglers). Empty = all
-  /// workers enter the collective at t=0. Since every aggregation round
-  /// needs the slowest owner, OmniReduce — like any synchronous collective
-  /// — is gated by the last worker; this knob quantifies that.
-  std::vector<sim::Time> worker_start_offsets;
-  /// Per-message CPU cost at the aggregator's receive path (ns): a
-  /// software (DPDK) aggregator spends CPU per packet regardless of size;
-  /// 0 models line-rate processing. Calibrating this to ~1.2 us/packet
-  /// reproduces the paper's measured dense-DPDK parity with NCCL (their
-  /// Fig. 4; see bench_ablation_cpu_bound).
-  double aggregator_rx_overhead_ns = 0.0;
-  /// Same for the worker receive path.
-  double worker_rx_overhead_ns = 0.0;
-};
 
 /// Outcome of one collective.
 struct RunStats {
@@ -57,15 +38,44 @@ struct RunStats {
   }
 };
 
+/// Reference reduction matching the engine's sparse semantics: per block
+/// position, fold contributing workers (all workers in dense mode, workers
+/// with a non-zero block otherwise) element-wise with the operator; block
+/// positions nobody contributes stay zero. For kSum this is the plain sum.
+tensor::DenseTensor reference_reduce(
+    const std::vector<tensor::DenseTensor>& tensors, const Config& cfg);
+
 /// Run one OmniReduce AllReduce over a freshly built simulated cluster.
 ///
 /// `tensors` (one per worker) are reduced in place: on return every entry
 /// holds the element-wise sum. With `verify`, the result is checked against
 /// a serial reference reduction (tolerance scales with worker count).
-///
-/// Deployment::kDedicated uses `n_aggregator_nodes` separate aggregator
-/// machines (paper testbed: 8). Deployment::kColocated shards the
-/// aggregator across the worker NICs.
+RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
+                       const Config& cfg, const ClusterSpec& cluster,
+                       bool verify = true);
+
+/// Like run_allreduce, but additionally returns the telemetry RunReport:
+/// bytes-conservation totals, per-round histograms, per-stream slot
+/// timelines and — when cluster.telemetry.trace_events is set — the full
+/// Chrome-trace event timeline. Works with telemetry disabled too (the
+/// report then carries stats + run parameters only).
+telemetry::RunReport run_allreduce_report(
+    std::vector<tensor::DenseTensor>& tensors, const Config& cfg,
+    const ClusterSpec& cluster, bool verify = true,
+    const std::string& label = "allreduce");
+
+/// Assemble a RunReport from finished-run stats plus (optionally) a tracer's
+/// accumulated totals, histograms, timelines and trace. Used by
+/// run_allreduce_report and Session; `tracer` may be null.
+telemetry::RunReport make_run_report(const std::string& label,
+                                     const RunStats& stats,
+                                     const ClusterSpec& cluster,
+                                     std::size_t n_workers,
+                                     std::size_t n_elements,
+                                     const telemetry::Tracer* tracer);
+
+/// \deprecated Pre-ClusterSpec 5-tuple signature; forwards to the
+/// (Config, ClusterSpec) entry point. Will be removed next PR.
 RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
                        const Config& cfg, const FabricConfig& fabric,
                        Deployment deployment,

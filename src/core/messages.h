@@ -32,11 +32,16 @@ struct DataPacket final : net::Message {
   std::size_t value_bytes = 4;  // c_v: 4 = fp32, 2 = fp16 on the wire
 
   std::size_t wire_bytes() const override {
+    return header_bytes + next.size() * per_block_meta_bytes +
+           payload_bytes();
+  }
+
+  std::size_t payload_bytes() const override {
     std::size_t data_bytes = 0;
     for (const ColumnBlock& c : columns) {
       data_bytes += c.data.size() * value_bytes;
     }
-    return header_bytes + next.size() * per_block_meta_bytes + data_bytes;
+    return data_bytes;
   }
 };
 
@@ -54,11 +59,16 @@ struct ResultPacket final : net::Message {
   std::size_t value_bytes = 4;
 
   std::size_t wire_bytes() const override {
+    return header_bytes + request.size() * per_block_meta_bytes +
+           payload_bytes();
+  }
+
+  std::size_t payload_bytes() const override {
     std::size_t data_bytes = 0;
     for (const ColumnBlock& c : columns) {
       data_bytes += c.data.size() * value_bytes;
     }
-    return header_bytes + request.size() * per_block_meta_bytes + data_bytes;
+    return data_bytes;
   }
 };
 

@@ -2,25 +2,31 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "core/stream_layout.h"
 #include "tensor/blocks.h"
 
 namespace omr::core {
 
-Session::Session(const Config& cfg, const FabricConfig& fabric,
-                 Deployment deployment, std::size_t n_workers,
-                 std::size_t n_aggregator_nodes,
-                 const device::DeviceModel& device)
+Session::Session(const Config& cfg, std::size_t n_workers,
+                 const ClusterSpec& cluster)
     : cfg_(cfg),
-      fabric_cfg_(fabric),
-      deployment_(deployment),
+      spec_(cluster),
       n_workers_(n_workers),
-      n_aggregators_(deployment == Deployment::kColocated ? n_workers
-                                                          : n_aggregator_nodes),
-      device_(device) {
+      n_aggregators_(cluster.deployment == Deployment::kColocated
+                         ? n_workers
+                         : cluster.n_aggregator_nodes) {
   if (n_workers_ == 0) throw std::invalid_argument("no workers");
   if (n_aggregators_ == 0) throw std::invalid_argument("no aggregators");
+  if (cfg_.fixed_point && cfg_.op != ReduceOp::kSum) {
+    throw std::invalid_argument("fixed-point slots support only sum");
+  }
+  const FabricConfig& fabric = spec_.fabric;
+  if (!fabric.worker_start_offsets.empty() &&
+      fabric.worker_start_offsets.size() != n_workers_) {
+    throw std::invalid_argument("start-offset count != worker count");
+  }
   if (fabric.loss_rate > 0.0) cfg_.loss_recovery = true;
 
   simulator_ = std::make_unique<sim::Simulator>();
@@ -28,20 +34,51 @@ Session::Session(const Config& cfg, const FabricConfig& fabric,
                                             fabric.one_way_latency,
                                             fabric.seed);
   network_->set_loss_rate(fabric.loss_rate);
+  if (spec_.telemetry.enabled) {
+    tracer_ = std::make_unique<telemetry::Tracer>(spec_.telemetry);
+    network_->set_tracer(tracer_.get());
+  }
 
   for (std::size_t w = 0; w < n_workers_; ++w) {
     worker_nics_.push_back(network_->add_nic(
-        {fabric.worker_bandwidth_bps, fabric.worker_bandwidth_bps}));
+        {fabric.worker_bandwidth_bps, fabric.worker_bandwidth_bps,
+         fabric.worker_rx_overhead_ns}));
+    if (tracer_ != nullptr) {
+      tracer_->map_nic(worker_nics_[w], telemetry::worker_pid(w));
+      tracer_->name_process(telemetry::worker_pid(w),
+                            "worker " + std::to_string(w));
+    }
   }
   for (std::size_t a = 0; a < n_aggregators_; ++a) {
     agg_nics_.push_back(
-        deployment_ == Deployment::kColocated
+        spec_.deployment == Deployment::kColocated
             ? worker_nics_[a]
             : network_->add_nic({fabric.aggregator_bandwidth_bps,
-                                 fabric.aggregator_bandwidth_bps}));
+                                 fabric.aggregator_bandwidth_bps,
+                                 fabric.aggregator_rx_overhead_ns}));
+    if (tracer_ != nullptr) {
+      tracer_->name_process(telemetry::aggregator_pid(a),
+                            "aggregator " + std::to_string(a));
+      if (spec_.deployment != Deployment::kColocated) {
+        tracer_->map_nic(agg_nics_[a], telemetry::aggregator_pid(a));
+      }
+    }
   }
   rebuild_endpoints();
 }
+
+Session::Session(const Config& cfg, const FabricConfig& fabric,
+                 Deployment deployment, std::size_t n_workers,
+                 std::size_t n_aggregator_nodes,
+                 const device::DeviceModel& device)
+    : Session(cfg, n_workers, [&] {
+        ClusterSpec cluster;
+        cluster.fabric = fabric;
+        cluster.deployment = deployment;
+        cluster.n_aggregator_nodes = n_aggregator_nodes;
+        cluster.device = device;
+        return cluster;
+      }()) {}
 
 Session::~Session() = default;
 
@@ -50,6 +87,7 @@ void Session::rebuild_endpoints() {
   for (std::size_t w = 0; w < n_workers_; ++w) {
     workers_.push_back(std::make_unique<Worker>(
         cfg_, *network_, static_cast<std::uint32_t>(w)));
+    workers_.back()->set_tracer(tracer_.get());
     worker_eps.push_back(network_->attach(workers_.back().get(),
                                           worker_nics_[w]));
   }
@@ -57,6 +95,8 @@ void Session::rebuild_endpoints() {
   for (std::size_t a = 0; a < n_aggregators_; ++a) {
     aggregators_.push_back(
         std::make_unique<Aggregator>(cfg_, *network_, n_workers_));
+    aggregators_.back()->set_tracer(tracer_.get(),
+                                    telemetry::aggregator_pid(a));
     agg_eps.push_back(network_->attach(aggregators_.back().get(),
                                        agg_nics_[a]));
     aggregators_.back()->bind(agg_eps.back(), worker_eps);
@@ -69,6 +109,11 @@ sim::Time Session::now() const { return simulator_->now(); }
 
 RunStats Session::allreduce(std::vector<tensor::DenseTensor>& tensors,
                             bool verify) {
+  return run_collective(tensors, verify, "allreduce");
+}
+
+RunStats Session::run_collective(std::vector<tensor::DenseTensor>& tensors,
+                                 bool verify, const char* label) {
   if (tensors.size() != n_workers_) {
     throw std::invalid_argument("tensor count != worker count");
   }
@@ -77,13 +122,14 @@ RunStats Session::allreduce(std::vector<tensor::DenseTensor>& tensors,
     if (t.size() != n) throw std::invalid_argument("tensor size mismatch");
   }
   tensor::DenseTensor reference;
-  if (verify) reference = tensor::reference_sum(tensors);
+  if (verify) reference = reference_reduce(tensors, cfg_);
 
   const sim::Time t0 = simulator_->now();
   std::vector<net::NicStats> nic_before;
   for (net::NicId nic : worker_nics_) {
     nic_before.push_back(network_->nic_stats(nic));
   }
+  const std::uint64_t dropped_before = network_->total_dropped();
 
   const StreamLayout layout = StreamLayout::build(n, cfg_);
   std::vector<net::EndpointId> agg_of_stream(layout.streams.size());
@@ -94,16 +140,28 @@ RunStats Session::allreduce(std::vector<tensor::DenseTensor>& tensors,
     aggregators_[a]->add_stream(static_cast<std::uint32_t>(s),
                                 layout.streams[s]);
   }
+  const auto& offsets = spec_.fabric.worker_start_offsets;
   for (std::size_t w = 0; w < n_workers_; ++w) {
     workers_[w]->bind(worker_eps_[w], agg_of_stream);
-    workers_[w]->start(tensors[w], layout, device_);
+    const sim::Time offset = offsets.empty() ? 0 : offsets[w];
+    if (offset == 0) {
+      workers_[w]->start(tensors[w], layout, spec_.device);
+    } else {
+      Worker* worker = workers_[w].get();
+      tensor::DenseTensor* t = &tensors[w];
+      const device::DeviceModel* device = &spec_.device;
+      const StreamLayout* lp = &layout;
+      simulator_->schedule_at(t0 + offset, [worker, t, lp, device]() {
+        worker->start(*t, *lp, *device);
+      });
+    }
   }
   simulator_->run();
   ++collectives_run_;
 
   RunStats stats;
   for (const auto& w : workers_) {
-    if (!w->done()) throw std::logic_error("session allreduce stalled");
+    if (!w->done()) throw std::logic_error("session collective stalled");
     stats.worker_finish.push_back(w->finish_time() - t0);
     stats.worker_data_bytes.push_back(w->data_bytes_sent());
     stats.retransmissions += w->retransmissions();
@@ -119,6 +177,10 @@ RunStats Session::allreduce(std::vector<tensor::DenseTensor>& tensors,
     stats.total_messages += network_->nic_stats(worker_nics_[w]).tx_messages -
                             nic_before[w].tx_messages;
   }
+  stats.dropped_messages = network_->total_dropped() - dropped_before;
+  if (tracer_ != nullptr) {
+    tracer_->collective_span(t0, simulator_->now(), collectives_run_ - 1);
+  }
   if (verify) {
     double err = 0.0;
     for (const auto& t : tensors) {
@@ -128,6 +190,45 @@ RunStats Session::allreduce(std::vector<tensor::DenseTensor>& tensors,
     stats.verified = err <= 1e-4 * static_cast<double>(n_workers_);
     if (!stats.verified) throw std::logic_error("session result mismatch");
   }
+  last_report_ = make_run_report(label, stats, spec_, n_workers_, n,
+                                 tracer_.get());
+  last_report_.sim_events_executed = simulator_->events_executed();
+  return stats;
+}
+
+RunStats Session::allgather(std::vector<tensor::DenseTensor>& shards,
+                            tensor::DenseTensor& out, bool verify) {
+  if (shards.size() != n_workers_) {
+    throw std::invalid_argument("shard count != worker count");
+  }
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  // Place each worker's shard at its offset; all other positions are zero,
+  // so the engine transmits only each worker's own blocks.
+  std::vector<tensor::DenseTensor> inputs;
+  inputs.reserve(shards.size());
+  std::size_t offset = 0;
+  for (const auto& s : shards) {
+    tensor::DenseTensor t(total);
+    for (std::size_t i = 0; i < s.size(); ++i) t[offset + i] = s[i];
+    inputs.push_back(std::move(t));
+    offset += s.size();
+  }
+  RunStats stats = run_collective(inputs, verify, "allgather");
+  out = inputs.front();
+  return stats;
+}
+
+RunStats Session::broadcast(const tensor::DenseTensor& root_data,
+                            std::size_t root,
+                            std::vector<tensor::DenseTensor>& outputs,
+                            bool verify) {
+  if (root >= n_workers_) throw std::invalid_argument("bad root");
+  std::vector<tensor::DenseTensor> inputs(
+      n_workers_, tensor::DenseTensor(root_data.size()));
+  inputs[root] = root_data;
+  RunStats stats = run_collective(inputs, verify, "broadcast");
+  outputs = std::move(inputs);
   return stats;
 }
 

@@ -4,12 +4,14 @@
 #include <vector>
 
 #include "core/aggregator.h"
+#include "core/cluster.h"
 #include "core/config.h"
 #include "core/engine.h"
 #include "core/worker.h"
 #include "device/device_model.h"
 #include "net/network.h"
 #include "sim/event_queue.h"
+#include "telemetry/report.h"
 
 namespace omr::core {
 
@@ -23,9 +25,15 @@ namespace omr::core {
 ///
 /// Tensors of different sizes may be reduced by the same session (the
 /// stream layout is rebuilt per call); the worker/aggregator topology and
-/// NIC state persist.
+/// NIC state persist. When spec.telemetry.enabled, a Tracer lives for the
+/// whole session, so traces and counter totals span all collectives run
+/// through it.
 class Session {
  public:
+  Session(const Config& cfg, std::size_t n_workers,
+          const ClusterSpec& cluster);
+  /// \deprecated Pre-ClusterSpec 5-tuple signature; forwards to the
+  /// (Config, n_workers, ClusterSpec) constructor. Will be removed next PR.
   Session(const Config& cfg, const FabricConfig& fabric,
           Deployment deployment, std::size_t n_workers,
           std::size_t n_aggregator_nodes, const device::DeviceModel& device);
@@ -39,23 +47,47 @@ class Session {
   RunStats allreduce(std::vector<tensor::DenseTensor>& tensors,
                      bool verify = true);
 
+  /// AllGather over this session's workers (§7): worker w contributes
+  /// `shards[w]`; each shard lands at its offset in a concatenated tensor
+  /// and the engine's zero-block skipping transmits only owned blocks.
+  /// `out` receives the concatenation (equal shard sizes not required).
+  RunStats allgather(std::vector<tensor::DenseTensor>& shards,
+                     tensor::DenseTensor& out, bool verify = true);
+
+  /// Broadcast `root_data` from worker `root`: the degenerate sparse
+  /// AllReduce where the other N-1 inputs are all-zero. `outputs[w]`
+  /// receives the broadcast tensor for every w.
+  RunStats broadcast(const tensor::DenseTensor& root_data, std::size_t root,
+                     std::vector<tensor::DenseTensor>& outputs,
+                     bool verify = true);
+
   std::size_t n_workers() const { return n_workers_; }
   /// Absolute virtual time consumed so far.
   sim::Time now() const;
   std::size_t collectives_run() const { return collectives_run_; }
 
+  const ClusterSpec& cluster() const { return spec_; }
+  /// Telemetry report for the most recent collective run through this
+  /// session. Stats and the label are per-call; tracer-derived totals,
+  /// histograms and the trace are cumulative over the session's lifetime.
+  /// Valid after the first collective.
+  const telemetry::RunReport& last_report() const { return last_report_; }
+  /// The session-lifetime tracer, or nullptr when telemetry is disabled.
+  const telemetry::Tracer* tracer() const { return tracer_.get(); }
+
  private:
   void rebuild_endpoints();
+  RunStats run_collective(std::vector<tensor::DenseTensor>& tensors,
+                          bool verify, const char* label);
 
   Config cfg_;
-  FabricConfig fabric_cfg_;
-  Deployment deployment_;
+  ClusterSpec spec_;
   std::size_t n_workers_;
   std::size_t n_aggregators_;
-  device::DeviceModel device_;
 
   std::unique_ptr<sim::Simulator> simulator_;
   std::unique_ptr<net::Network> network_;
+  std::unique_ptr<telemetry::Tracer> tracer_;
   std::vector<net::NicId> worker_nics_;
   std::vector<net::NicId> agg_nics_;
   // Workers and aggregators persist across collectives; per-tensor state
@@ -65,6 +97,7 @@ class Session {
   std::vector<net::EndpointId> worker_eps_;
   std::vector<net::EndpointId> agg_eps_;
   std::size_t collectives_run_ = 0;
+  telemetry::RunReport last_report_;
 };
 
 }  // namespace omr::core

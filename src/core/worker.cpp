@@ -31,6 +31,7 @@ void Worker::start(tensor::DenseTensor& tensor, const StreamLayout& layout,
                                                          cfg_.block_size)
                                    : 0);
   states_.assign(layout.streams.size(), StreamState{});
+  in_flight_slots_ = 0;
   streams_done_ = 0;
   finish_time_ = 0;
   data_bytes_sent_ = 0;
@@ -101,6 +102,18 @@ sim::Time Worker::staging_deadline(const DataPacket& pkt) const {
   return call_start_ + device_.chunk_ready(max_byte);
 }
 
+void Worker::note_in_flight(std::size_t stream, bool value) {
+  StreamState& st = states_[stream];
+  if (st.in_flight == value) return;
+  st.in_flight = value;
+  in_flight_slots_ += value ? 1 : static_cast<std::size_t>(-1);
+  if (tracer_ != nullptr) {
+    tracer_->counter_sample(telemetry::worker_pid(wid_), "in_flight_slots",
+                            sim_.now(),
+                            static_cast<double>(in_flight_slots_));
+  }
+}
+
 void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
                          bool is_bootstrap) {
   const sim::Time ready = std::max(
@@ -114,9 +127,14 @@ void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
     ++announcements_sent_;
   } else if (pkt->columns.empty()) {
     ++acks_sent_;
+    if (tracer_ != nullptr) {
+      tracer_->ack_tx(telemetry::worker_pid(wid_), sim_.now(),
+                      pkt->stream);
+    }
   } else {
     ++packets_sent_;
   }
+  note_in_flight(stream, true);
   const net::EndpointId agg = agg_of_stream_[stream];
   if (ready <= sim_.now()) {
     net_.send(self_, agg, pkt);
@@ -142,6 +160,11 @@ void Worker::on_timeout(std::size_t stream) {
   st.timer = 0;
   if (st.done || !st.last_sent) return;
   ++retransmissions_;
+  if (tracer_ != nullptr) {
+    tracer_->retransmit_fire(telemetry::worker_pid(wid_), sim_.now(),
+                             static_cast<std::uint32_t>(stream),
+                             st.last_sent->payload_bytes());
+  }
   net_.send(self_, agg_of_stream_[stream], st.last_sent);
   arm_timer(stream);
 }
@@ -197,6 +220,11 @@ void Worker::handle_result(const ResultPacket& r) {
   if (st.timer != 0) {
     sim_.cancel(st.timer);
     st.timer = 0;
+  }
+  note_in_flight(r.stream, false);
+  if (tracer_ != nullptr) {
+    tracer_->round_advance(telemetry::worker_pid(wid_), sim_.now(), r.stream,
+                           r.columns.size());
   }
   for (const ColumnBlock& cb : r.columns) {
     write_block(r.stream, cb);

@@ -9,6 +9,7 @@
 #include "device/device_model.h"
 #include "net/network.h"
 #include "sim/event_queue.h"
+#include "telemetry/telemetry.h"
 #include "tensor/blocks.h"
 #include "tensor/dense.h"
 
@@ -26,6 +27,10 @@ class Worker final : public net::Endpoint {
   /// Wire the worker: own endpoint id and, per stream, the endpoint of the
   /// aggregator node that owns the stream's slot.
   void bind(net::EndpointId self, std::vector<net::EndpointId> agg_of_stream);
+
+  /// Opt-in instrumentation (nullptr = disabled, the default: every hook
+  /// site is one pointer compare). Events land on lane worker_pid(wid).
+  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
 
   /// Begin the collective: computes the non-zero-block bitmap (charging the
   /// device-model cost), then sends the initial packet of every stream.
@@ -53,6 +58,7 @@ class Worker final : public net::Endpoint {
     std::vector<tensor::BlockIndex> my_next;  // per column, stream-local
     std::uint8_t expect_ver = 0;  // version of the next fresh result
     bool done = false;
+    bool in_flight = false;  // a packet of ours awaits a result (telemetry)
     net::MessagePtr last_sent;  // retransmission buffer (Algorithm 2)
     sim::EventId timer = 0;
   };
@@ -76,12 +82,18 @@ class Worker final : public net::Endpoint {
   /// Staging deadline: earliest time the data of `pkt` is host-resident.
   sim::Time staging_deadline(const DataPacket& pkt) const;
 
+  /// Mark `stream` as having/lacking an outstanding packet and sample the
+  /// occupancy series. No-op without a tracer.
+  void note_in_flight(std::size_t stream, bool value);
+
   Config cfg_;
   net::Network& net_;
   sim::Simulator& sim_;
   std::uint32_t wid_;
   net::EndpointId self_ = -1;
   std::vector<net::EndpointId> agg_of_stream_;
+  telemetry::Tracer* tracer_ = nullptr;
+  std::size_t in_flight_slots_ = 0;
 
   tensor::DenseTensor* tensor_ = nullptr;
   const StreamLayout* layout_ = nullptr;

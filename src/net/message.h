@@ -13,6 +13,11 @@ struct Message {
 
   /// Total on-the-wire size in bytes, including protocol headers.
   virtual std::size_t wire_bytes() const = 0;
+
+  /// Application payload bytes carried (no headers / metadata). Used only
+  /// by telemetry for bytes-conservation accounting; pure-control messages
+  /// keep the default of 0.
+  virtual std::size_t payload_bytes() const { return 0; }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

@@ -27,7 +27,8 @@ EndpointId Network::attach(Endpoint* endpoint, NicId nic) {
   return static_cast<EndpointId>(endpoints_.size() - 1);
 }
 
-sim::Time Network::tx_serialize(NicId nic_id, std::size_t bytes) {
+sim::Time Network::tx_serialize(NicId nic_id, std::size_t bytes,
+                                std::size_t payload_bytes) {
   Nic& nic = nics_[nic_id];
   const sim::Time start = std::max(sim_.now(), nic.tx_free);
   const sim::Time cost = sim::from_seconds(
@@ -35,6 +36,9 @@ sim::Time Network::tx_serialize(NicId nic_id, std::size_t bytes) {
   nic.tx_free = start + cost;
   nic.stats.tx_bytes += bytes;
   nic.stats.tx_messages += 1;
+  if (tracer_ != nullptr) {
+    tracer_->message_tx(nic_id, start, nic.tx_free, bytes, payload_bytes);
+  }
   return nic.tx_free;
 }
 
@@ -48,6 +52,9 @@ void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
     if (trace_ != nullptr) {
       trace_->push_back({departure, 0, src, dst,
                          static_cast<std::uint32_t>(bytes), true});
+    }
+    if (tracer_ != nullptr) {
+      tracer_->message_drop(endpoints_[dst].nic, arrival, bytes, dst);
     }
     return;
   }
@@ -68,6 +75,10 @@ void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
     trace_->push_back({departure, dnic.rx_free, src, dst,
                        static_cast<std::uint32_t>(bytes), false});
   }
+  if (tracer_ != nullptr) {
+    tracer_->message_rx(endpoints_[dst].nic, rx_start, dnic.rx_free, bytes,
+                        msg->payload_bytes());
+  }
   Endpoint* receiver = endpoints_[dst].endpoint;
   sim_.schedule_at(dnic.rx_free, [receiver, src, msg = std::move(msg)]() {
     receiver->on_message(src, msg);
@@ -78,7 +89,8 @@ void Network::send(EndpointId src, EndpointId dst, MessagePtr msg) {
   assert(src >= 0 && src < static_cast<EndpointId>(endpoints_.size()));
   assert(dst >= 0 && dst < static_cast<EndpointId>(endpoints_.size()));
   const sim::Time departure = tx_serialize(endpoints_[src].nic,
-                                           msg->wire_bytes());
+                                           msg->wire_bytes(),
+                                           msg->payload_bytes());
   deliver(src, dst, std::move(msg), departure);
 }
 
@@ -86,7 +98,8 @@ void Network::send_switch_multicast(EndpointId src,
                                     std::span<const EndpointId> dsts,
                                     MessagePtr msg) {
   const sim::Time departure = tx_serialize(endpoints_[src].nic,
-                                           msg->wire_bytes());
+                                           msg->wire_bytes(),
+                                           msg->payload_bytes());
   for (EndpointId dst : dsts) deliver(src, dst, msg, departure);
 }
 

@@ -9,6 +9,7 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "telemetry/telemetry.h"
 
 namespace omr::net {
 
@@ -106,6 +107,12 @@ class Network {
   /// benchmarks.
   void enable_trace(std::vector<TraceEvent>* sink) { trace_ = sink; }
 
+  /// Attach a typed-event tracer (non-owning; nullptr disables). The
+  /// tracer receives TX/RX serialization spans and loss-injection drops;
+  /// the caller maps NICs onto trace lanes via Tracer::map_nic.
+  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+  telemetry::Tracer* tracer() const { return tracer_; }
+
   const NicStats& nic_stats(NicId nic) const { return nics_[nic].stats; }
   NicStats& mutable_nic_stats(NicId nic) { return nics_[nic].stats; }
   NicId nic_of(EndpointId ep) const { return endpoints_[ep].nic; }
@@ -127,7 +134,8 @@ class Network {
   };
 
   /// TX-serialize at src; returns the wire-departure completion time.
-  sim::Time tx_serialize(NicId nic, std::size_t bytes);
+  sim::Time tx_serialize(NicId nic, std::size_t bytes,
+                         std::size_t payload_bytes);
   /// Schedule arrival/RX/delivery of a message departing at `departure`.
   void deliver(EndpointId src, EndpointId dst, MessagePtr msg,
                sim::Time departure);
@@ -138,6 +146,7 @@ class Network {
   double loss_rate_ = 0.0;
   std::uint64_t total_dropped_ = 0;
   std::vector<TraceEvent>* trace_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
   std::vector<Nic> nics_;
   std::vector<Attached> endpoints_;
 };

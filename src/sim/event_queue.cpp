@@ -19,6 +19,7 @@ bool Simulator::cancel(EventId id) {
   auto [it, inserted] = cancelled_.insert(id);
   (void)it;
   if (inserted && pending_count_ > 0) --pending_count_;
+  if (inserted) ++cancelled_total_;
   return inserted;
 }
 

@@ -48,6 +48,10 @@ class Simulator {
   /// Number of events executed so far (for diagnostics / loop detection).
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Number of events cancelled before firing (retransmission timers that
+  /// were satisfied in time). Reported by the telemetry RunReport.
+  std::uint64_t events_cancelled() const { return cancelled_total_; }
+
   /// True if no events are pending.
   bool idle() const { return pending_count_ == 0; }
 
@@ -69,6 +73,7 @@ class Simulator {
   std::uint64_t seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_total_ = 0;
   std::size_t pending_count_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> cancelled_;

@@ -1,0 +1,81 @@
+#include <algorithm>
+#include <ostream>
+
+#include "telemetry/telemetry.h"
+
+namespace omr::telemetry {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Chrome trace timestamps are microseconds; keep sub-us precision.
+double to_us(sim::Time t) { return static_cast<double>(t) / 1000.0; }
+
+}  // namespace
+
+void write_chrome_trace(const Trace& trace, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  for (const auto& [pid, name] : trace.process_names) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    write_escaped(os, name);
+    os << "\"}}";
+  }
+
+  std::vector<const Event*> sorted;
+  sorted.reserve(trace.events.size());
+  for (const Event& e : trace.events) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+
+  for (const Event* e : sorted) {
+    sep();
+    os << "{\"name\":\"" << event_name(e->kind) << "\",\"pid\":" << e->pid
+       << ",\"tid\":" << e->tid << ",\"ts\":" << to_us(e->ts);
+    if (e->dur > 0) {
+      os << ",\"ph\":\"X\",\"dur\":" << to_us(e->dur);
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    os << ",\"args\":{\"stream\":" << e->stream << ",\"arg0\":" << e->arg0
+       << ",\"arg1\":" << e->arg1 << "}}";
+  }
+
+  for (const CounterSeries& cs : trace.series) {
+    for (const auto& [ts, value] : cs.points) {
+      sep();
+      os << "{\"name\":\"";
+      write_escaped(os, cs.name);
+      os << "\",\"ph\":\"C\",\"pid\":" << cs.pid << ",\"tid\":0,\"ts\":"
+         << to_us(ts) << ",\"args\":{\"value\":" << value << "}}";
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+}  // namespace omr::telemetry

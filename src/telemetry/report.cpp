@@ -1,0 +1,121 @@
+#include "telemetry/report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace omr::telemetry {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+template <typename T>
+void write_array(std::ostream& os, const std::vector<T>& v) {
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ",";
+    os << v[i];
+  }
+  os << "]";
+}
+
+void write_histogram(std::ostream& os, const Histogram& h) {
+  os << "{\"total\":" << h.total << ",\"sum\":" << h.sum
+     << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"mean\":"
+     << h.mean() << ",\"bounds\":";
+  write_array(os, h.bounds);
+  os << ",\"counts\":";
+  write_array(os, h.counts);
+  os << "}";
+}
+
+}  // namespace
+
+double RunReport::mean_worker_data_bytes() const {
+  if (worker_data_bytes.empty()) return 0.0;
+  double s = 0.0;
+  for (auto b : worker_data_bytes) s += static_cast<double>(b);
+  return s / static_cast<double>(worker_data_bytes.size());
+}
+
+void RunReport::write_json(std::ostream& os, bool include_trace) const {
+  os << "{\"schema\":\"omnireduce.run_report.v1\",\"label\":\"";
+  write_escaped(os, label);
+  os << "\",\"stats\":{";
+  os << "\"completion_ns\":" << completion_time
+     << ",\"completion_ms\":" << completion_ms()
+     << ",\"total_messages\":" << total_messages
+     << ",\"retransmissions\":" << retransmissions
+     << ",\"dropped_messages\":" << dropped_messages
+     << ",\"rounds\":" << rounds << ",\"acks\":" << acks
+     << ",\"duplicate_resends\":" << duplicate_resends
+     << ",\"verified\":" << (verified ? "true" : "false")
+     << ",\"max_error\":" << max_error
+     << ",\"mean_worker_data_bytes\":" << mean_worker_data_bytes() << "}";
+
+  os << ",\"run\":{\"n_workers\":" << n_workers
+     << ",\"n_aggregators\":" << n_aggregators
+     << ",\"tensor_elements\":" << tensor_elements
+     << ",\"sim_events_executed\":" << sim_events_executed << "}";
+
+  os << ",\"workers\":{\"finish_ns\":";
+  write_array(os, worker_finish);
+  os << ",\"data_bytes\":";
+  write_array(os, worker_data_bytes);
+  os << "}";
+
+  os << ",\"totals\":{\"traced_worker_payload_bytes\":"
+     << traced_worker_payload_bytes
+     << ",\"retransmit_payload_bytes\":" << retransmit_payload_bytes
+     << ",\"wire_tx_bytes_total\":" << wire_tx_bytes_total << "}";
+
+  os << ",\"histograms\":{\"message_wire_bytes\":";
+  write_histogram(os, message_wire_bytes);
+  os << ",\"round_gap_ns\":";
+  write_histogram(os, round_gap_ns);
+  os << "}";
+
+  os << ",\"streams\":[";
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const StreamTimeline& tl = streams[i];
+    if (i > 0) os << ",";
+    os << "{\"stream\":" << tl.stream << ",\"rounds\":" << tl.rounds
+       << ",\"first_round_ns\":" << tl.first_round
+       << ",\"completed_ns\":" << tl.completed << "}";
+  }
+  os << "]";
+
+  if (include_trace) {
+    os << ",\"trace\":";
+    std::ostringstream trace_os;
+    write_chrome_trace(trace, trace_os);
+    os << trace_os.str();
+  }
+  os << "}";
+}
+
+void write_report_array(const std::vector<RunReport>& reports,
+                        std::ostream& os) {
+  os << "{\"schema\":\"omnireduce.run_report_array.v1\",\"reports\":[\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) os << ",\n";
+    reports[i].write_json(os);
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace omr::telemetry

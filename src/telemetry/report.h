@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "telemetry/telemetry.h"
+
+namespace omr::telemetry {
+
+/// Structured outcome of one collective (or a whole Session): a superset
+/// of core::RunStats — the flat stats fields are mirrored 1:1 so the
+/// report serializes without depending on core — plus telemetry-derived
+/// histograms, per-stream slot timelines, bytes-conservation totals and
+/// (when tracing was enabled) the full event timeline.
+///
+/// Serialized with write_json() as `omnireduce.run_report.v1`, consumed by
+/// tools/bench_to_csv.py and validated by tools/validate_telemetry.py.
+struct RunReport {
+  std::string label;
+
+  // --- mirrored core::RunStats --------------------------------------------
+  sim::Time completion_time = 0;
+  std::vector<sim::Time> worker_finish;
+  std::vector<std::uint64_t> worker_data_bytes;
+  std::uint64_t total_messages = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t dropped_messages = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t duplicate_resends = 0;
+  bool verified = false;
+  double max_error = 0.0;
+
+  // --- run parameters worth replotting against ----------------------------
+  std::size_t n_workers = 0;
+  std::size_t n_aggregators = 0;
+  std::size_t tensor_elements = 0;
+
+  // --- bytes-conservation totals (tracer rolling counters) ----------------
+  /// Payload bytes observed leaving worker NICs in the trace; equals
+  /// sum(worker_data_bytes) + retransmit_payload_bytes on dedicated
+  /// deployments (tests/test_telemetry.cpp asserts this).
+  std::uint64_t traced_worker_payload_bytes = 0;
+  std::uint64_t retransmit_payload_bytes = 0;
+  std::uint64_t wire_tx_bytes_total = 0;
+  std::uint64_t sim_events_executed = 0;
+
+  // --- distributions and timelines ----------------------------------------
+  Histogram message_wire_bytes;
+  Histogram round_gap_ns;
+  std::vector<StreamTimeline> streams;
+
+  /// Full event timeline (empty unless TelemetryConfig::trace_events).
+  Trace trace;
+
+  double completion_ms() const { return sim::to_milliseconds(completion_time); }
+  double mean_worker_data_bytes() const;
+
+  /// Serialize as a single JSON object. `include_trace` additionally
+  /// embeds the Chrome trace under "trace" (can be large).
+  void write_json(std::ostream& os, bool include_trace = false) const;
+};
+
+/// Write several reports as `{"schema": ..., "reports": [...]}` — the
+/// container format bench binaries emit and bench_to_csv.py ingests.
+void write_report_array(const std::vector<RunReport>& reports,
+                        std::ostream& os);
+
+}  // namespace omr::telemetry

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/collectives.h"
 #include "core/session.h"
 #include "sim/rng.h"
 #include "tensor/generators.h"
@@ -131,6 +132,116 @@ TEST(Session, RejectsBadInput) {
   EXPECT_THROW(session.allreduce(wrong_count), std::invalid_argument);
   std::vector<DenseTensor> mismatched{DenseTensor(32), DenseTensor(16)};
   EXPECT_THROW(session.allreduce(mismatched), std::invalid_argument);
+}
+
+ClusterSpec spec2agg() {
+  ClusterSpec cluster = ClusterSpec::dedicated(2);
+  cluster.fabric = fab();
+  cluster.device = gdr();
+  return cluster;
+}
+
+TEST(Session, ClusterSpecConstructorRunsCollectives) {
+  Session session(cfg16(), 4, spec2agg());
+  sim::Rng rng(7);
+  auto ts = tensor::make_multi_worker(4, 16 * 64, 16, 0.5,
+                                      tensor::OverlapMode::kRandom, rng);
+  EXPECT_TRUE(session.allreduce(ts).verified);
+  EXPECT_EQ(session.last_report().label, "allreduce");
+  EXPECT_EQ(session.last_report().n_workers, 4u);
+}
+
+TEST(Session, AllgatherMemberConcatenatesShards) {
+  Session session(cfg16(), 3, spec2agg());
+  std::vector<DenseTensor> shards;
+  for (std::size_t w = 0; w < 3; ++w) {
+    DenseTensor s(16 * 8);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      s[i] = static_cast<float>(w * 1000 + i);
+    }
+    shards.push_back(std::move(s));
+  }
+  DenseTensor out;
+  RunStats st = session.allgather(shards, out);
+  EXPECT_TRUE(st.verified);
+  ASSERT_EQ(out.size(), 3u * 16 * 8);
+  for (std::size_t w = 0; w < 3; ++w) {
+    for (std::size_t i = 0; i < 16u * 8; ++i) {
+      EXPECT_EQ(out[w * 16 * 8 + i], static_cast<float>(w * 1000 + i));
+    }
+  }
+}
+
+TEST(Session, AllgatherMemberMatchesFreeFunction) {
+  auto mk = []() {
+    std::vector<DenseTensor> shards;
+    for (std::size_t w = 0; w < 3; ++w) {
+      DenseTensor s(16 * 16);
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        s[i] = static_cast<float>((w + 1) * (i + 1));
+      }
+      shards.push_back(std::move(s));
+    }
+    return shards;
+  };
+  auto shards_a = mk();
+  auto shards_b = mk();
+  DenseTensor out_free, out_member;
+  RunStats free_st =
+      run_allgather(shards_a, out_free, cfg16(), spec2agg());
+  Session session(cfg16(), 3, spec2agg());
+  RunStats member_st = session.allgather(shards_b, out_member);
+  EXPECT_EQ(out_free, out_member);
+  EXPECT_EQ(free_st.completion_time, member_st.completion_time);
+  EXPECT_EQ(free_st.total_messages, member_st.total_messages);
+}
+
+TEST(Session, BroadcastMemberDeliversToAll) {
+  Session session(cfg16(), 4, spec2agg());
+  DenseTensor root(16 * 16);
+  for (std::size_t i = 0; i < root.size(); ++i) {
+    root[i] = static_cast<float>(i % 97);
+  }
+  std::vector<DenseTensor> outputs;
+  RunStats st = session.broadcast(root, 2, outputs);
+  EXPECT_TRUE(st.verified);
+  ASSERT_EQ(outputs.size(), 4u);
+  for (const auto& o : outputs) EXPECT_EQ(o, root);
+  EXPECT_THROW(session.broadcast(root, 4, outputs), std::invalid_argument);
+}
+
+TEST(Session, BroadcastMemberMatchesFreeFunction) {
+  DenseTensor root(16 * 16);
+  for (std::size_t i = 0; i < root.size(); ++i) {
+    root[i] = static_cast<float>(i) * 0.5f;
+  }
+  std::vector<DenseTensor> out_free, out_member;
+  RunStats free_st =
+      run_broadcast(root, 1, 3, out_free, cfg16(), spec2agg());
+  Session session(cfg16(), 3, spec2agg());
+  RunStats member_st = session.broadcast(root, 1, out_member);
+  ASSERT_EQ(out_free.size(), out_member.size());
+  for (std::size_t w = 0; w < out_free.size(); ++w) {
+    EXPECT_EQ(out_free[w], out_member[w]);
+  }
+  EXPECT_EQ(free_st.completion_time, member_st.completion_time);
+  EXPECT_EQ(free_st.total_messages, member_st.total_messages);
+}
+
+TEST(Session, MixedCollectivesShareOneDeployment) {
+  Session session(cfg16(), 3, spec2agg());
+  sim::Rng rng(9);
+  auto ts = tensor::make_multi_worker(3, 16 * 32, 16, 0.5,
+                                      tensor::OverlapMode::kRandom, rng);
+  EXPECT_TRUE(session.allreduce(ts).verified);
+  std::vector<DenseTensor> shards(3, DenseTensor(16 * 4));
+  for (std::size_t w = 0; w < 3; ++w) shards[w][0] = static_cast<float>(w + 1);
+  DenseTensor gathered;
+  EXPECT_TRUE(session.allgather(shards, gathered).verified);
+  std::vector<DenseTensor> outputs;
+  EXPECT_TRUE(session.broadcast(gathered, 0, outputs).verified);
+  EXPECT_EQ(session.collectives_run(), 3u);
+  EXPECT_EQ(session.last_report().label, "broadcast");
 }
 
 }  // namespace

@@ -1,17 +1,79 @@
 #!/usr/bin/env python3
-"""Parse bench_output.txt (the concatenated output of build/bench/*) into
-one CSV per experiment, for plotting.
+"""Parse bench output into CSV files for plotting.
 
 Usage:
     tools/bench_to_csv.py bench_output.txt out_dir/
+    tools/bench_to_csv.py reports.json out_dir/
 
-Each "====" banner starts a section; within a section, contiguous runs of
-aligned table rows (first column 26 chars, then 12-char cells) become one
-CSV named after the banner plus a running index for multi-table figures.
+Text mode: each "====" banner starts a section; within a section,
+contiguous runs of aligned table rows (first column 26 chars, then 12-char
+cells) become one CSV named after the banner plus a running index for
+multi-table figures.
+
+JSON mode (input file ending in .json): ingests telemetry RunReport JSON —
+either a single `omnireduce.run_report.v1` object (omr_cli --report) or an
+`omnireduce.run_report_array.v1` container (bench binaries run with
+OMR_REPORT_JSON=<path>) — and flattens one row per report into
+run_reports.csv.
 """
+import json
 import os
 import re
 import sys
+
+REPORT_SCHEMA = "omnireduce.run_report.v1"
+REPORT_ARRAY_SCHEMA = "omnireduce.run_report_array.v1"
+
+REPORT_COLUMNS = [
+    "label",
+    "completion_ms",
+    "n_workers",
+    "n_aggregators",
+    "tensor_elements",
+    "total_messages",
+    "retransmissions",
+    "dropped_messages",
+    "rounds",
+    "acks",
+    "duplicate_resends",
+    "verified",
+    "max_error",
+    "mean_worker_data_bytes",
+    "traced_worker_payload_bytes",
+    "retransmit_payload_bytes",
+    "wire_tx_bytes_total",
+    "sim_events_executed",
+]
+
+
+def report_row(report: dict) -> list[str]:
+    stats = report.get("stats", {})
+    run = report.get("run", {})
+    totals = report.get("totals", {})
+    merged = {**totals, **run, **stats, "label": report.get("label", "")}
+    return [str(merged.get(col, "")) for col in REPORT_COLUMNS]
+
+
+def json_mode(src: str, out_dir: str) -> int:
+    with open(src, encoding="utf-8") as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema == REPORT_ARRAY_SCHEMA:
+        reports = doc.get("reports", [])
+    elif schema == REPORT_SCHEMA:
+        reports = [doc]
+    else:
+        print(f"unrecognized schema: {schema!r}")
+        return 1
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "run_reports.csv")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(",".join(REPORT_COLUMNS) + "\n")
+        for report in reports:
+            f.write(",".join(c.replace(",", ";") for c in report_row(report))
+                    + "\n")
+    print(f"wrote {len(reports)} report row(s) to {path}")
+    return 0
 
 
 def slugify(title: str) -> str:
@@ -39,6 +101,8 @@ def main() -> int:
         print(__doc__)
         return 1
     src, out_dir = sys.argv[1], sys.argv[2]
+    if src.endswith(".json"):
+        return json_mode(src, out_dir)
     os.makedirs(out_dir, exist_ok=True)
     with open(src, encoding="utf-8", errors="replace") as f:
         lines = f.read().splitlines()
