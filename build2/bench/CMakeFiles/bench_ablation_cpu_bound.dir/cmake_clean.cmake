@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cpu_bound.dir/bench_ablation_cpu_bound.cpp.o"
+  "CMakeFiles/bench_ablation_cpu_bound.dir/bench_ablation_cpu_bound.cpp.o.d"
+  "bench_ablation_cpu_bound"
+  "bench_ablation_cpu_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cpu_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_sparse_methods.dir/bench_fig06_sparse_methods.cpp.o"
+  "CMakeFiles/bench_fig06_sparse_methods.dir/bench_fig06_sparse_methods.cpp.o.d"
+  "bench_fig06_sparse_methods"
+  "bench_fig06_sparse_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_sparse_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_scaling_factor.dir/bench_fig09_scaling_factor.cpp.o"
+  "CMakeFiles/bench_fig09_scaling_factor.dir/bench_fig09_scaling_factor.cpp.o.d"
+  "bench_fig09_scaling_factor"
+  "bench_fig09_scaling_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_scaling_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_training_speedup.cpp" "bench/CMakeFiles/bench_fig10_training_speedup.dir/bench_fig10_training_speedup.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_training_speedup.dir/bench_fig10_training_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/ddl/CMakeFiles/omr_ddl.dir/DependInfo.cmake"
+  "/root/repo/build2/src/baselines/CMakeFiles/omr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/omr_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/device/CMakeFiles/omr_device.dir/DependInfo.cmake"
+  "/root/repo/build2/src/net/CMakeFiles/omr_net.dir/DependInfo.cmake"
+  "/root/repo/build2/src/telemetry/CMakeFiles/omr_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build2/src/compress/CMakeFiles/omr_compress.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tensor/CMakeFiles/omr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/omr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

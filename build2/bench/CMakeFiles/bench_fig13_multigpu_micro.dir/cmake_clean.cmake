@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_multigpu_micro.dir/bench_fig13_multigpu_micro.cpp.o"
+  "CMakeFiles/bench_fig13_multigpu_micro.dir/bench_fig13_multigpu_micro.cpp.o.d"
+  "bench_fig13_multigpu_micro"
+  "bench_fig13_multigpu_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_multigpu_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

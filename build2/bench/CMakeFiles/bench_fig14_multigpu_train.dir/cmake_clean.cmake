@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_multigpu_train.dir/bench_fig14_multigpu_train.cpp.o"
+  "CMakeFiles/bench_fig14_multigpu_train.dir/bench_fig14_multigpu_train.cpp.o.d"
+  "bench_fig14_multigpu_train"
+  "bench_fig14_multigpu_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_multigpu_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_block_size.dir/bench_fig15_block_size.cpp.o"
+  "CMakeFiles/bench_fig15_block_size.dir/bench_fig15_block_size.cpp.o.d"
+  "bench_fig15_block_size"
+  "bench_fig15_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_block_sparsity.dir/bench_fig16_block_sparsity.cpp.o"
+  "CMakeFiles/bench_fig16_block_sparsity.dir/bench_fig16_block_sparsity.cpp.o.d"
+  "bench_fig16_block_sparsity"
+  "bench_fig16_block_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_block_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_p4_aggregator.dir/bench_fig18_p4_aggregator.cpp.o"
+  "CMakeFiles/bench_fig18_p4_aggregator.dir/bench_fig18_p4_aggregator.cpp.o.d"
+  "bench_fig18_p4_aggregator"
+  "bench_fig18_p4_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_p4_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

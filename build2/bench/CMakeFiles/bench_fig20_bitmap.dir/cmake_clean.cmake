@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_bitmap.dir/bench_fig20_bitmap.cpp.o"
+  "CMakeFiles/bench_fig20_bitmap.dir/bench_fig20_bitmap.cpp.o.d"
+  "bench_fig20_bitmap"
+  "bench_fig20_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

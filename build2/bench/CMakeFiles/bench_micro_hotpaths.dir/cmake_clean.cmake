@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hotpaths.dir/bench_micro_hotpaths.cpp.o"
+  "CMakeFiles/bench_micro_hotpaths.dir/bench_micro_hotpaths.cpp.o.d"
+  "bench_micro_hotpaths"
+  "bench_micro_hotpaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hotpaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_compression.dir/gradient_compression.cpp.o"
+  "CMakeFiles/gradient_compression.dir/gradient_compression.cpp.o.d"
+  "gradient_compression"
+  "gradient_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_cli.dir/omr_cli.cpp.o"
+  "CMakeFiles/omr_cli.dir/omr_cli.cpp.o.d"
+  "omr_cli"
+  "omr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

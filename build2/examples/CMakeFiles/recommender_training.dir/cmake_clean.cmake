@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_training.dir/recommender_training.cpp.o"
+  "CMakeFiles/recommender_training.dir/recommender_training.cpp.o.d"
+  "recommender_training"
+  "recommender_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

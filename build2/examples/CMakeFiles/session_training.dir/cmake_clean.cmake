@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_training.dir/session_training.cpp.o"
+  "CMakeFiles/session_training.dir/session_training.cpp.o.d"
+  "session_training"
+  "session_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_collectives.dir/sparse_collectives.cpp.o"
+  "CMakeFiles/sparse_collectives.dir/sparse_collectives.cpp.o.d"
+  "sparse_collectives"
+  "sparse_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build2/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build2/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_recommender_training "/root/repo/build2/examples/recommender_training")
+set_tests_properties(example_recommender_training PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gradient_compression "/root/repo/build2/examples/gradient_compression")
+set_tests_properties(example_gradient_compression PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sparse_collectives "/root/repo/build2/examples/sparse_collectives")
+set_tests_properties(example_sparse_collectives PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_session_training "/root/repo/build2/examples/session_training")
+set_tests_properties(example_session_training PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_omr_cli "/root/repo/build2/examples/omr_cli" "--workers" "4" "--mb" "4" "--sparsity" "0.9" "--bandwidth" "100" "--transport" "rdma" "--gdr")
+set_tests_properties(example_omr_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_omr_cli_telemetry "/root/repo/build2/examples/omr_cli" "--workers" "4" "--mb" "2" "--sparsity" "0.9" "--loss" "0.002" "--transport" "dpdk" "--report" "/root/repo/build2/examples/omr_cli_report.json" "--trace" "/root/repo/build2/examples/omr_cli_trace.json")
+set_tests_properties(example_omr_cli_telemetry PROPERTIES  FIXTURES_SETUP "omr_cli_telemetry_files" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(telemetry_schema_validate "/root/.pyenv/shims/python3" "/root/repo/tools/validate_telemetry.py" "/root/repo/build2/examples/omr_cli_report.json" "/root/repo/build2/examples/omr_cli_trace.json")
+set_tests_properties(telemetry_schema_validate PROPERTIES  FIXTURES_REQUIRED "omr_cli_telemetry_files" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")

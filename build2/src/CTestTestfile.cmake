@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("telemetry")
+subdirs("net")
+subdirs("tensor")
+subdirs("device")
+subdirs("core")
+subdirs("baselines")
+subdirs("innet")
+subdirs("compress")
+subdirs("perfmodel")
+subdirs("ddl")

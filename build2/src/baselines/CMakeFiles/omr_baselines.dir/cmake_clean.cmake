@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_baselines.dir/agsparse.cpp.o"
+  "CMakeFiles/omr_baselines.dir/agsparse.cpp.o.d"
+  "CMakeFiles/omr_baselines.dir/parameter_server.cpp.o"
+  "CMakeFiles/omr_baselines.dir/parameter_server.cpp.o.d"
+  "CMakeFiles/omr_baselines.dir/ring.cpp.o"
+  "CMakeFiles/omr_baselines.dir/ring.cpp.o.d"
+  "CMakeFiles/omr_baselines.dir/sparcml.cpp.o"
+  "CMakeFiles/omr_baselines.dir/sparcml.cpp.o.d"
+  "libomr_baselines.a"
+  "libomr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

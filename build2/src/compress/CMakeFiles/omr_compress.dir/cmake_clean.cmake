@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_compress.dir/compressors.cpp.o"
+  "CMakeFiles/omr_compress.dir/compressors.cpp.o.d"
+  "CMakeFiles/omr_compress.dir/quantizers.cpp.o"
+  "CMakeFiles/omr_compress.dir/quantizers.cpp.o.d"
+  "libomr_compress.a"
+  "libomr_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregator.cpp" "src/core/CMakeFiles/omr_core.dir/aggregator.cpp.o" "gcc" "src/core/CMakeFiles/omr_core.dir/aggregator.cpp.o.d"
+  "/root/repo/src/core/bucketing.cpp" "src/core/CMakeFiles/omr_core.dir/bucketing.cpp.o" "gcc" "src/core/CMakeFiles/omr_core.dir/bucketing.cpp.o.d"
+  "/root/repo/src/core/collectives.cpp" "src/core/CMakeFiles/omr_core.dir/collectives.cpp.o" "gcc" "src/core/CMakeFiles/omr_core.dir/collectives.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/omr_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/omr_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/omr_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/omr_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/omr_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/omr_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/sparse_kv.cpp" "src/core/CMakeFiles/omr_core.dir/sparse_kv.cpp.o" "gcc" "src/core/CMakeFiles/omr_core.dir/sparse_kv.cpp.o.d"
+  "/root/repo/src/core/worker.cpp" "src/core/CMakeFiles/omr_core.dir/worker.cpp.o" "gcc" "src/core/CMakeFiles/omr_core.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/omr_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/net/CMakeFiles/omr_net.dir/DependInfo.cmake"
+  "/root/repo/build2/src/telemetry/CMakeFiles/omr_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tensor/CMakeFiles/omr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build2/src/device/CMakeFiles/omr_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_core.dir/aggregator.cpp.o"
+  "CMakeFiles/omr_core.dir/aggregator.cpp.o.d"
+  "CMakeFiles/omr_core.dir/bucketing.cpp.o"
+  "CMakeFiles/omr_core.dir/bucketing.cpp.o.d"
+  "CMakeFiles/omr_core.dir/collectives.cpp.o"
+  "CMakeFiles/omr_core.dir/collectives.cpp.o.d"
+  "CMakeFiles/omr_core.dir/engine.cpp.o"
+  "CMakeFiles/omr_core.dir/engine.cpp.o.d"
+  "CMakeFiles/omr_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/omr_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/omr_core.dir/session.cpp.o"
+  "CMakeFiles/omr_core.dir/session.cpp.o.d"
+  "CMakeFiles/omr_core.dir/sparse_kv.cpp.o"
+  "CMakeFiles/omr_core.dir/sparse_kv.cpp.o.d"
+  "CMakeFiles/omr_core.dir/worker.cpp.o"
+  "CMakeFiles/omr_core.dir/worker.cpp.o.d"
+  "libomr_core.a"
+  "libomr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_ddl.dir/end_to_end.cpp.o"
+  "CMakeFiles/omr_ddl.dir/end_to_end.cpp.o.d"
+  "CMakeFiles/omr_ddl.dir/metrics.cpp.o"
+  "CMakeFiles/omr_ddl.dir/metrics.cpp.o.d"
+  "CMakeFiles/omr_ddl.dir/pipeline.cpp.o"
+  "CMakeFiles/omr_ddl.dir/pipeline.cpp.o.d"
+  "CMakeFiles/omr_ddl.dir/trainer.cpp.o"
+  "CMakeFiles/omr_ddl.dir/trainer.cpp.o.d"
+  "CMakeFiles/omr_ddl.dir/workloads.cpp.o"
+  "CMakeFiles/omr_ddl.dir/workloads.cpp.o.d"
+  "libomr_ddl.a"
+  "libomr_ddl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

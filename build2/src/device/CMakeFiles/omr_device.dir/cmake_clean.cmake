@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_device.dir/device_model.cpp.o"
+  "CMakeFiles/omr_device.dir/device_model.cpp.o.d"
+  "libomr_device.a"
+  "libomr_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

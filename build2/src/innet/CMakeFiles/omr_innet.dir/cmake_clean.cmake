@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_innet.dir/p4_aggregator.cpp.o"
+  "CMakeFiles/omr_innet.dir/p4_aggregator.cpp.o.d"
+  "libomr_innet.a"
+  "libomr_innet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_innet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_net.dir/network.cpp.o"
+  "CMakeFiles/omr_net.dir/network.cpp.o.d"
+  "libomr_net.a"
+  "libomr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

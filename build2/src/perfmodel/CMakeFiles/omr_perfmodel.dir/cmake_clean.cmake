@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_perfmodel.dir/perfmodel.cpp.o"
+  "CMakeFiles/omr_perfmodel.dir/perfmodel.cpp.o.d"
+  "libomr_perfmodel.a"
+  "libomr_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

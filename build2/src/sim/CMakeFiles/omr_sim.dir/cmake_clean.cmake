@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/omr_sim.dir/event_queue.cpp.o.d"
+  "libomr_sim.a"
+  "libomr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

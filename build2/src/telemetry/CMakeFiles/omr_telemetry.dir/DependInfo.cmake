@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/chrome_trace.cpp" "src/telemetry/CMakeFiles/omr_telemetry.dir/chrome_trace.cpp.o" "gcc" "src/telemetry/CMakeFiles/omr_telemetry.dir/chrome_trace.cpp.o.d"
+  "/root/repo/src/telemetry/report.cpp" "src/telemetry/CMakeFiles/omr_telemetry.dir/report.cpp.o" "gcc" "src/telemetry/CMakeFiles/omr_telemetry.dir/report.cpp.o.d"
+  "/root/repo/src/telemetry/telemetry.cpp" "src/telemetry/CMakeFiles/omr_telemetry.dir/telemetry.cpp.o" "gcc" "src/telemetry/CMakeFiles/omr_telemetry.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/omr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_telemetry.dir/chrome_trace.cpp.o"
+  "CMakeFiles/omr_telemetry.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/omr_telemetry.dir/report.cpp.o"
+  "CMakeFiles/omr_telemetry.dir/report.cpp.o.d"
+  "CMakeFiles/omr_telemetry.dir/telemetry.cpp.o"
+  "CMakeFiles/omr_telemetry.dir/telemetry.cpp.o.d"
+  "libomr_telemetry.a"
+  "libomr_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

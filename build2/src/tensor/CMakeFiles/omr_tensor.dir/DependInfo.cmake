@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/blocks.cpp" "src/tensor/CMakeFiles/omr_tensor.dir/blocks.cpp.o" "gcc" "src/tensor/CMakeFiles/omr_tensor.dir/blocks.cpp.o.d"
+  "/root/repo/src/tensor/coo.cpp" "src/tensor/CMakeFiles/omr_tensor.dir/coo.cpp.o" "gcc" "src/tensor/CMakeFiles/omr_tensor.dir/coo.cpp.o.d"
+  "/root/repo/src/tensor/dense.cpp" "src/tensor/CMakeFiles/omr_tensor.dir/dense.cpp.o" "gcc" "src/tensor/CMakeFiles/omr_tensor.dir/dense.cpp.o.d"
+  "/root/repo/src/tensor/generators.cpp" "src/tensor/CMakeFiles/omr_tensor.dir/generators.cpp.o" "gcc" "src/tensor/CMakeFiles/omr_tensor.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sim/CMakeFiles/omr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omr_tensor.dir/blocks.cpp.o"
+  "CMakeFiles/omr_tensor.dir/blocks.cpp.o.d"
+  "CMakeFiles/omr_tensor.dir/coo.cpp.o"
+  "CMakeFiles/omr_tensor.dir/coo.cpp.o.d"
+  "CMakeFiles/omr_tensor.dir/dense.cpp.o"
+  "CMakeFiles/omr_tensor.dir/dense.cpp.o.d"
+  "CMakeFiles/omr_tensor.dir/generators.cpp.o"
+  "CMakeFiles/omr_tensor.dir/generators.cpp.o.d"
+  "libomr_tensor.a"
+  "libomr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddl.dir/test_ddl.cpp.o"
+  "CMakeFiles/test_ddl.dir/test_ddl.cpp.o.d"
+  "test_ddl"
+  "test_ddl.pdb"
+  "test_ddl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hierarchical.cpp" "tests/CMakeFiles/test_hierarchical.dir/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/test_hierarchical.dir/test_hierarchical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/omr_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/net/CMakeFiles/omr_net.dir/DependInfo.cmake"
+  "/root/repo/build2/src/telemetry/CMakeFiles/omr_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build2/src/device/CMakeFiles/omr_device.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tensor/CMakeFiles/omr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/omr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

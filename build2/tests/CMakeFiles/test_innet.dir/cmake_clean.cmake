@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_innet.dir/test_innet.cpp.o"
+  "CMakeFiles/test_innet.dir/test_innet.cpp.o.d"
+  "test_innet"
+  "test_innet.pdb"
+  "test_innet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_innet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantizers.dir/test_quantizers.cpp.o"
+  "CMakeFiles/test_quantizers.dir/test_quantizers.cpp.o.d"
+  "test_quantizers"
+  "test_quantizers.pdb"
+  "test_quantizers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

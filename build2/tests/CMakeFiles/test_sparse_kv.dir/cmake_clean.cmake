@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_kv.dir/test_sparse_kv.cpp.o"
+  "CMakeFiles/test_sparse_kv.dir/test_sparse_kv.cpp.o.d"
+  "test_sparse_kv"
+  "test_sparse_kv.pdb"
+  "test_sparse_kv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainer_quantizers.dir/test_trainer_quantizers.cpp.o"
+  "CMakeFiles/test_trainer_quantizers.dir/test_trainer_quantizers.cpp.o.d"
+  "test_trainer_quantizers"
+  "test_trainer_quantizers.pdb"
+  "test_trainer_quantizers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainer_quantizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

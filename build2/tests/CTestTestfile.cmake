@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/test_sim[1]_include.cmake")
+include("/root/repo/build2/tests/test_net[1]_include.cmake")
+include("/root/repo/build2/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build2/tests/test_device[1]_include.cmake")
+include("/root/repo/build2/tests/test_core[1]_include.cmake")
+include("/root/repo/build2/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build2/tests/test_compress[1]_include.cmake")
+include("/root/repo/build2/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build2/tests/test_innet[1]_include.cmake")
+include("/root/repo/build2/tests/test_ddl[1]_include.cmake")
+include("/root/repo/build2/tests/test_hierarchical[1]_include.cmake")
+include("/root/repo/build2/tests/test_core_extensions[1]_include.cmake")
+include("/root/repo/build2/tests/test_integration[1]_include.cmake")
+include("/root/repo/build2/tests/test_sparse_kv[1]_include.cmake")
+include("/root/repo/build2/tests/test_protocol_stats[1]_include.cmake")
+include("/root/repo/build2/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build2/tests/test_session[1]_include.cmake")
+include("/root/repo/build2/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build2/tests/test_quantizers[1]_include.cmake")
+include("/root/repo/build2/tests/test_trainer_quantizers[1]_include.cmake")
