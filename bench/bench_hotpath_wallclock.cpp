@@ -1,0 +1,423 @@
+// End-to-end wall-clock harness for the simulator hot paths. Unlike the
+// google-benchmark micro suite (bench_micro_hotpaths), this binary measures
+// *host* wall-clock of fixed deterministic workloads — the metric every
+// figure reproduction is actually bottlenecked by — and emits a JSON
+// document (BENCH_hotpaths.json schema, see docs/PERFORMANCE.md) so perf
+// changes land as recorded artifacts with before/after numbers.
+//
+// Usage:
+//   bench_hotpath_wallclock [--smoke] [--out PATH] [--label NAME]
+//                           [--only NAME]
+//
+// --smoke shrinks workloads to CI scale (the `perf_smoke` ctest label).
+// --only runs a single benchmark (useful under a profiler).
+// Simulated results (completion_time, rounds, messages) are recorded next
+// to each wall-clock number: a perf PR must leave them bit-identical.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/engine.h"
+#include "core/sparse_kv.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "tensor/blocks.h"
+#include "tensor/coo.h"
+#include "tensor/generators.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+struct Result {
+  std::string name;
+  std::string kind;  // "micro" | "e2e"
+  double wall_ms = 0.0;        // median over repeats
+  double work_units = 0.0;     // events, blocks, elements... (per repeat)
+  std::string unit;
+  // Simulated outputs (e2e only) — must be bit-identical across perf PRs.
+  bool has_sim = false;
+  std::uint64_t sim_completion_ns = 0;
+  std::uint64_t sim_total_messages = 0;
+  std::uint64_t sim_rounds = 0;
+  std::uint64_t sim_retransmissions = 0;
+
+  double units_per_sec() const {
+    return wall_ms > 0.0 ? work_units / (wall_ms / 1e3) : 0.0;
+  }
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// --- event queue: self-rescheduling handler churn --------------------------
+
+struct Churner {
+  omr::sim::Simulator* s;
+  omr::sim::Rng rng;
+  std::uint64_t remaining = 0;
+  // Stand-in for the message a delivery event carries: the callback must
+  // capture a shared_ptr plus endpoint ids, exactly like Network::deliver's
+  // scheduled lambda. This sizes the capture realistically (~32 bytes) —
+  // a callback type with a small inline buffer pays a heap allocation per
+  // event here, the simulator's dominant steady-state cost.
+  std::shared_ptr<std::uint64_t> payload = std::make_shared<std::uint64_t>(0);
+  void tick(std::uint32_t src, std::uint32_t dst) {
+    if (remaining == 0) return;
+    --remaining;
+    *payload += src + dst;
+    s->schedule_after(
+        1 + static_cast<omr::sim::Time>(rng.next_below(997)),
+        [this, src, dst, msg = payload] { tick(src + 1, dst + 1); (void)msg; });
+  }
+};
+
+Result bench_event_queue_churn(bool smoke, int repeats) {
+  const std::size_t kStreams = 512;
+  const std::uint64_t kEventsPer = smoke ? 200 : 4000;
+  std::vector<double> times;
+  for (int r = 0; r < repeats; ++r) {
+    omr::sim::Simulator sim;
+    std::vector<Churner> churners(kStreams);
+    omr::sim::Rng seed_rng(42);
+    for (auto& c : churners) {
+      c.s = &sim;
+      c.rng = seed_rng.fork();
+      c.remaining = kEventsPer;
+    }
+    const auto t0 = Clock::now();
+    for (auto& c : churners) c.tick(0, 1);
+    sim.run();
+    times.push_back(ms_since(t0));
+  }
+  Result res;
+  res.name = "event_queue_churn";
+  res.kind = "micro";
+  res.wall_ms = median(times);
+  res.work_units = static_cast<double>(kStreams * kEventsPer);
+  res.unit = "events";
+  return res;
+}
+
+// --- event queue: the worker timer pattern (arm, usually cancel) -----------
+
+struct TimerStream {
+  omr::sim::Simulator* s;
+  omr::sim::Rng rng;
+  std::uint64_t remaining = 0;
+  omr::sim::EventId timer = 0;
+  void on_data() {
+    if (timer != 0) {
+      s->cancel(timer);
+      timer = 0;
+    }
+    if (remaining == 0) return;
+    --remaining;
+    // Timeout is ~100x the round gap, as in the real protocol config: the
+    // timer almost always dies cancelled, far from the top of the heap.
+    timer = s->schedule_after(10000, [this] { timer = 0; });
+    s->schedule_after(50 + static_cast<omr::sim::Time>(rng.next_below(101)),
+                      [this] { on_data(); });
+  }
+};
+
+Result bench_event_queue_timer_cancel(bool smoke, int repeats) {
+  const std::size_t kStreams = 256;
+  const std::uint64_t kRoundsPer = smoke ? 200 : 4000;
+  std::vector<double> times;
+  for (int r = 0; r < repeats; ++r) {
+    omr::sim::Simulator sim;
+    std::vector<TimerStream> streams(kStreams);
+    omr::sim::Rng seed_rng(7);
+    for (auto& st : streams) {
+      st.s = &sim;
+      st.rng = seed_rng.fork();
+      st.remaining = kRoundsPer;
+    }
+    const auto t0 = Clock::now();
+    for (auto& st : streams) st.on_data();
+    sim.run();
+    times.push_back(ms_since(t0));
+  }
+  Result res;
+  res.name = "event_queue_timer_cancel";
+  res.kind = "micro";
+  res.wall_ms = median(times);
+  res.work_units = static_cast<double>(kStreams * kRoundsPer);
+  res.unit = "rounds";
+  return res;
+}
+
+// --- bitmap: build + scans -------------------------------------------------
+
+Result bench_bitmap_build(bool smoke, int repeats) {
+  const std::size_t n = smoke ? (1u << 18) : (1u << 22);
+  omr::sim::Rng rng(42);
+  const auto t = omr::tensor::make_block_sparse(n, 256, 0.9, rng);
+  const int inner = smoke ? 4 : 16;
+  std::vector<double> times;
+  std::size_t sink = 0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < inner; ++i) {
+      omr::tensor::BlockBitmap bm(t.span(), 256);
+      sink += bm.nonzero_count();
+    }
+    times.push_back(ms_since(t0));
+  }
+  if (sink == 0) std::fprintf(stderr, "unexpected all-zero input\n");
+  Result res;
+  res.name = "bitmap_build";
+  res.kind = "micro";
+  res.wall_ms = median(times);
+  res.work_units = static_cast<double>(n) * inner;
+  res.unit = "elements";
+  return res;
+}
+
+Result bench_bitmap_scan(const char* name, std::size_t stride, double sparsity,
+                         bool smoke, int repeats) {
+  const std::size_t n = smoke ? (1u << 18) : (1u << 22);
+  omr::sim::Rng rng(42);
+  const auto t = omr::tensor::make_block_sparse(n, 256, sparsity, rng);
+  omr::tensor::BlockBitmap bm(t.span(), 256);
+  const int inner = smoke ? 16 : 256;
+  std::vector<double> times;
+  std::size_t sink = 0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < inner; ++i) {
+      for (std::size_t col = 0; col < stride; ++col) {
+        omr::tensor::BlockIndex b = static_cast<omr::tensor::BlockIndex>(col) -
+                                    static_cast<omr::tensor::BlockIndex>(stride);
+        while (true) {
+          b = bm.next_nonzero_in_column(b + static_cast<omr::tensor::BlockIndex>(stride),
+                                        col, stride);
+          if (b == omr::tensor::kNoBlock) break;
+          ++sink;
+        }
+      }
+    }
+    times.push_back(ms_since(t0));
+  }
+  if (sink == 0) std::fprintf(stderr, "scan found no blocks\n");
+  Result res;
+  res.name = name;
+  res.kind = "micro";
+  res.wall_ms = median(times);
+  res.work_units = static_cast<double>(bm.size()) * inner;
+  res.unit = "blocks";
+  return res;
+}
+
+// --- sparse KV allreduce (Algorithm 3 accumulator) -------------------------
+
+omr::tensor::CooTensor make_coo(std::size_t dim, std::size_t nnz,
+                                omr::sim::Rng& rng) {
+  omr::tensor::CooTensor t;
+  t.dim = dim;
+  t.keys.reserve(nnz);
+  t.values.reserve(nnz);
+  const std::size_t step = dim / nnz;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    t.keys.push_back(static_cast<std::int32_t>(i * step + rng.next_below(step)));
+    t.values.push_back(rng.next_float(-1.0f, 1.0f));
+  }
+  return t;
+}
+
+Result bench_kv_allreduce(bool smoke, int repeats) {
+  const std::size_t dim = smoke ? (1u << 18) : (1u << 22);
+  const std::size_t nnz = dim / 16;
+  const std::size_t kWorkers = 8;
+  omr::sim::Rng rng(42);
+  std::vector<omr::tensor::CooTensor> inputs;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    inputs.push_back(make_coo(dim, nnz, rng));
+  }
+  omr::core::FabricConfig fabric;
+  std::vector<double> times;
+  std::uint64_t rounds = 0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    const auto stats =
+        omr::core::run_sparse_allreduce(inputs, fabric, 256, 64, 4);
+    times.push_back(ms_since(t0));
+    rounds = stats.rounds;
+  }
+  Result res;
+  res.name = "kv_allreduce";
+  res.kind = "e2e";
+  res.wall_ms = median(times);
+  res.work_units = static_cast<double>(nnz * kWorkers);
+  res.unit = "pairs";
+  res.has_sim = true;
+  res.sim_rounds = rounds;
+  return res;
+}
+
+// --- fig04-style dense-engine allreduce ------------------------------------
+
+Result bench_e2e_allreduce(const char* name, omr::core::Transport transport,
+                           double loss_rate, bool smoke, int repeats) {
+  const std::size_t n = smoke ? (1u << 18) : (1u << 21);
+  const std::size_t kWorkers = 8;
+  const auto cfg = omr::core::Config::for_transport(transport);
+  omr::core::FabricConfig fabric;
+  fabric.loss_rate = loss_rate;
+  fabric.seed = 7;
+  const auto cluster = omr::core::ClusterSpec::dedicated(kWorkers, fabric);
+  std::vector<double> times;
+  omr::core::RunStats stats;
+  for (int r = 0; r < repeats; ++r) {
+    omr::sim::Rng rng(42);  // identical inputs every repeat
+    auto tensors = omr::tensor::make_multi_worker(
+        kWorkers, n, cfg.block_size, 0.9, omr::tensor::OverlapMode::kRandom,
+        rng);
+    const auto t0 = Clock::now();
+    stats = omr::core::run_allreduce(tensors, cfg, cluster, /*verify=*/false);
+    times.push_back(ms_since(t0));
+  }
+  Result res;
+  res.name = name;
+  res.kind = "e2e";
+  res.wall_ms = median(times);
+  res.work_units = static_cast<double>(n * kWorkers);
+  res.unit = "elements";
+  res.has_sim = true;
+  res.sim_completion_ns = static_cast<std::uint64_t>(stats.completion_time);
+  res.sim_total_messages = stats.total_messages;
+  res.sim_rounds = stats.rounds;
+  res.sim_retransmissions = stats.retransmissions;
+  return res;
+}
+
+void write_json(const std::vector<Result>& results, const std::string& label,
+                bool smoke, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"schema\": \"omnireduce.bench_hotpaths.v1\",\n";
+  out << "  \"label\": \"" << label << "\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"results\": [\n";
+  char buf[256];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"kind\": \"" << r.kind
+        << "\", ";
+    std::snprintf(buf, sizeof(buf),
+                  "\"wall_ms\": %.4f, \"work_units\": %.0f, \"unit\": "
+                  "\"%s\", \"units_per_sec\": %.1f",
+                  r.wall_ms, r.work_units, r.unit.c_str(), r.units_per_sec());
+    out << buf;
+    if (r.has_sim) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"sim_completion_ns\": %llu, \"sim_total_messages\": "
+                    "%llu, \"sim_rounds\": %llu, \"sim_retransmissions\": %llu",
+                    static_cast<unsigned long long>(r.sim_completion_ns),
+                    static_cast<unsigned long long>(r.sim_total_messages),
+                    static_cast<unsigned long long>(r.sim_rounds),
+                    static_cast<unsigned long long>(r.sim_retransmissions));
+      out << buf;
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %zu results to %s\n", results.size(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_hotpaths.json";
+  std::string label = "current";
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out PATH] [--label NAME] "
+                   "[--only NAME]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const int repeats = smoke ? 1 : 5;
+
+  struct Entry {
+    const char* name;
+    Result (*run)(bool, int);
+  };
+  const Entry entries[] = {
+      {"event_queue_churn", bench_event_queue_churn},
+      {"event_queue_timer_cancel", bench_event_queue_timer_cancel},
+      {"bitmap_build", bench_bitmap_build},
+      {"bitmap_scan_stride1",
+       [](bool s, int r) {
+         return bench_bitmap_scan("bitmap_scan_stride1", 1, 0.99, s, r);
+       }},
+      {"bitmap_scan_stride16",
+       [](bool s, int r) {
+         return bench_bitmap_scan("bitmap_scan_stride16", 16, 0.99, s, r);
+       }},
+      {"kv_allreduce", bench_kv_allreduce},
+      {"e2e_rdma_s90",
+       [](bool s, int r) {
+         return bench_e2e_allreduce("e2e_rdma_s90",
+                                    omr::core::Transport::kRdma, 0.0, s, r);
+       }},
+      {"e2e_dpdk_lossy",
+       [](bool s, int r) {
+         return bench_e2e_allreduce("e2e_dpdk_lossy",
+                                    omr::core::Transport::kDpdk, 0.001, s, r);
+       }},
+  };
+
+  std::vector<Result> results;
+  for (const Entry& e : entries) {
+    if (!only.empty() && only != e.name) continue;
+    results.push_back(e.run(smoke, repeats));
+    const Result& res = results.back();
+    std::printf("%-28s %10.2f ms", e.name, res.wall_ms);
+    if (res.has_sim) {
+      std::printf("  (sim=%llu ns, msgs=%llu, rounds=%llu, rtx=%llu)",
+                  static_cast<unsigned long long>(res.sim_completion_ns),
+                  static_cast<unsigned long long>(res.sim_total_messages),
+                  static_cast<unsigned long long>(res.sim_rounds),
+                  static_cast<unsigned long long>(res.sim_retransmissions));
+    } else {
+      std::printf("  (%.0f %s)", res.work_units, res.unit.c_str());
+    }
+    std::printf("\n");
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "no benchmark named '%s'\n", only.c_str());
+    return 2;
+  }
+
+  write_json(results, label, smoke, out_path);
+  return 0;
+}

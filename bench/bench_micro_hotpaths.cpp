@@ -3,7 +3,11 @@
 // COO conversion, and compression selection.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "compress/compressors.h"
+#include "core/reduce_kernels.h"
+#include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "tensor/blocks.h"
 #include "tensor/coo.h"
@@ -108,6 +112,111 @@ void BM_ErrorFeedbackStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ErrorFeedbackStep);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  // Steady-state delivery pattern: every handler reschedules itself a
+  // short random delay ahead, carrying a shared_ptr payload like
+  // Network::deliver. Exercises slot recycling, the timing wheel and the
+  // EventFn small-buffer path.
+  const std::size_t kStreams = 64;
+  const std::uint64_t kEventsPer = static_cast<std::uint64_t>(state.range(0));
+  struct Churner {
+    sim::Simulator* s;
+    sim::Rng rng;
+    std::uint64_t remaining = 0;
+    std::shared_ptr<std::uint64_t> payload =
+        std::make_shared<std::uint64_t>(0);
+    void tick() {
+      if (remaining == 0) return;
+      --remaining;
+      s->schedule_after(1 + static_cast<sim::Time>(rng.next_below(997)),
+                        [this, msg = payload] { tick(); });
+    }
+  };
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Rng seed_rng(42);
+    std::vector<Churner> churners(kStreams);
+    for (auto& c : churners) {
+      c.s = &s;
+      c.rng = seed_rng.fork();
+      c.remaining = kEventsPer;
+    }
+    for (auto& c : churners) c.tick();
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kStreams * kEventsPer));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(256)->Arg(1024);
+
+void BM_EventQueueTimerCancel(benchmark::State& state) {
+  // The Algorithm 2 retransmission-timer pattern: arm a far timeout, then
+  // cancel it when data arrives. Cancellation must be cheap even though
+  // the timer sits far from the queue head.
+  const std::size_t kStreams = 64;
+  const std::uint64_t kRounds = static_cast<std::uint64_t>(state.range(0));
+  struct TimerStream {
+    sim::Simulator* s;
+    sim::Rng rng;
+    std::uint64_t remaining = 0;
+    sim::EventId timer = 0;
+    void on_data() {
+      if (timer != 0) {
+        s->cancel(timer);
+        timer = 0;
+      }
+      if (remaining == 0) return;
+      --remaining;
+      timer = s->schedule_after(10000, [this] { timer = 0; });
+      s->schedule_after(50 + static_cast<sim::Time>(rng.next_below(101)),
+                        [this] { on_data(); });
+    }
+  };
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Rng seed_rng(7);
+    std::vector<TimerStream> streams(kStreams);
+    for (auto& st : streams) {
+      st.s = &s;
+      st.rng = seed_rng.fork();
+      st.remaining = kRounds;
+    }
+    for (auto& st : streams) st.on_data();
+    s.run();
+    benchmark::DoNotOptimize(s.events_cancelled());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kStreams * kRounds));
+}
+BENCHMARK(BM_EventQueueTimerCancel)->Arg(256)->Arg(1024);
+
+void BM_ReduceKernel(benchmark::State& state) {
+  // The per-(op, arithmetic) kernels the Aggregator dispatches to once per
+  // collective. range(0) selects the variant so regressions are visible
+  // per kernel, not averaged away.
+  const bool fixed = state.range(0) == 1;
+  const auto op = state.range(0) == 2 ? core::ReduceOp::kMax
+                                      : core::ReduceOp::kSum;
+  const core::kernels::ReduceKernel k = core::kernels::select(op, fixed);
+  sim::Rng rng(3);
+  std::vector<float> dst(4096), src(4096);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<float>(rng.next_normal());
+    src[i] = static_cast<float>(rng.next_normal());
+  }
+  for (auto _ : state) {
+    k(dst.data(), src.data(), src.size(), 1048576.0);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size() * 4));
+}
+BENCHMARK(BM_ReduceKernel)
+    ->Arg(0)   // float sum
+    ->Arg(1)   // fixed-point sum (switch-ASIC arithmetic)
+    ->Arg(2);  // max
 
 }  // namespace
 

@@ -19,7 +19,10 @@ constexpr tensor::BlockIndex kMinusInfinity = -2;
 
 Aggregator::Aggregator(const Config& cfg, net::Network& net,
                        std::size_t n_workers)
-    : cfg_(cfg), net_(net), n_workers_(n_workers) {}
+    : cfg_(cfg),
+      net_(net),
+      n_workers_(n_workers),
+      kernel_(kernels::select(cfg.op, cfg.fixed_point)) {}
 
 void Aggregator::bind(net::EndpointId self,
                       std::vector<net::EndpointId> workers) {
@@ -42,12 +45,14 @@ void Aggregator::add_stream(std::uint32_t stream, const StreamInfo& info) {
   st.cur.assign(info.columns, kPreStart);
   if (cfg_.loss_recovery) {
     for (SlotVersion& v : st.ver) {
-      v.data.assign(info.columns * cfg_.block_size, identity());
+      v.data.resize(info.columns);
+      for (auto& col : v.data) col.assign(cfg_.block_size, identity());
       v.seen.assign(n_workers_, 0);
       v.min_next.assign(info.columns, tensor::kNoBlock);
     }
   } else {
-    st.slot.assign(info.columns * cfg_.block_size, identity());
+    st.slot.resize(info.columns);
+    for (auto& col : st.slot) col.assign(cfg_.block_size, identity());
     st.next_tbl.assign(info.columns,
                        std::vector<tensor::BlockIndex>(n_workers_,
                                                        kMinusInfinity));
@@ -83,48 +88,17 @@ void Aggregator::on_message(net::EndpointId /*from*/,
   }
 }
 
-void Aggregator::fold(std::vector<float>& slot, const DataPacket& p) const {
+void Aggregator::fold(SlotData& slot, const DataPacket& p) const {
+  // The (op, fixed-point) dispatch happened once at construction; the
+  // per-block call is a direct jump into a vectorized kernel.
   for (const ColumnBlock& cb : p.columns) {
     assert(cb.data.size() == cfg_.block_size);
-    float* dst = slot.data() + cb.column * cfg_.block_size;
-    switch (cfg_.op) {
-      case ReduceOp::kSum:
-        if (cfg_.fixed_point) {
-          // Switch-ASIC arithmetic: each addend is quantized to an
-          // int32-scaled value and the running sum saturates at the int32
-          // range — the SwitchML-style limitation the P4 aggregator
-          // inherits (§7).
-          const double s = cfg_.fixed_point_scale;
-          constexpr double kMaxFix = 2147483647.0;
-          for (std::size_t i = 0; i < cfg_.block_size; ++i) {
-            const double q =
-                std::nearbyint(static_cast<double>(cb.data[i]) * s);
-            double acc =
-                std::nearbyint(static_cast<double>(dst[i]) * s) + q;
-            acc = std::clamp(acc, -kMaxFix, kMaxFix);
-            dst[i] = static_cast<float>(acc / s);
-          }
-        } else {
-          for (std::size_t i = 0; i < cfg_.block_size; ++i) {
-            dst[i] += cb.data[i];
-          }
-        }
-        break;
-      case ReduceOp::kMin:
-        for (std::size_t i = 0; i < cfg_.block_size; ++i) {
-          dst[i] = std::min(dst[i], cb.data[i]);
-        }
-        break;
-      case ReduceOp::kMax:
-        for (std::size_t i = 0; i < cfg_.block_size; ++i) {
-          dst[i] = std::max(dst[i], cb.data[i]);
-        }
-        break;
-    }
+    kernel_(slot[cb.column].data(), cb.data.data(), cfg_.block_size,
+            cfg_.fixed_point_scale);
   }
 }
 
-void Aggregator::stage(SlotState& st, std::vector<float>& slot,
+void Aggregator::stage(SlotState& st, SlotData& slot,
                        std::vector<std::shared_ptr<const DataPacket>>& pending,
                        const std::shared_ptr<const DataPacket>& p) const {
   (void)st;
@@ -140,7 +114,7 @@ void Aggregator::stage(SlotState& st, std::vector<float>& slot,
 }
 
 void Aggregator::drain_pending(
-    std::vector<float>& slot,
+    SlotData& slot,
     std::vector<std::shared_ptr<const DataPacket>>& pending) const {
   if (pending.empty()) return;
   std::stable_sort(pending.begin(), pending.end(),
@@ -149,11 +123,42 @@ void Aggregator::drain_pending(
   pending.clear();
 }
 
+std::vector<float> Aggregator::acquire_block() {
+  if (block_pool_.empty()) return {};
+  std::vector<float> v = std::move(block_pool_.back());
+  block_pool_.pop_back();
+  return v;
+}
+
+std::shared_ptr<ResultPacket> Aggregator::acquire_result() {
+  if (result_pool_.empty()) return std::make_shared<ResultPacket>();
+  std::shared_ptr<ResultPacket> p = std::move(result_pool_.back());
+  result_pool_.pop_back();
+  return p;
+}
+
+void Aggregator::recycle_packet(net::MessagePtr& pkt) {
+  if (pkt != nullptr && pkt.use_count() == 1) {
+    auto rp = std::const_pointer_cast<ResultPacket>(
+        std::dynamic_pointer_cast<const ResultPacket>(pkt));
+    if (rp != nullptr) {
+      for (ColumnBlock& cb : rp->columns) {
+        if (cb.data.capacity() > 0) block_pool_.push_back(std::move(cb.data));
+      }
+      rp->columns.clear();  // keeps capacity; data buffers already moved out
+      pkt.reset();
+      result_pool_.push_back(std::move(rp));
+      return;
+    }
+  }
+  pkt.reset();
+}
+
 net::MessagePtr Aggregator::emit_result(
     SlotState& st, std::uint32_t stream, std::uint8_t ver,
     const std::vector<tensor::BlockIndex>& requests,
-    std::vector<float>& slot) {
-  auto result = std::make_shared<ResultPacket>();
+    SlotData& slot) {
+  auto result = acquire_result();
   result->stream = stream;
   result->ver = ver;
   result->header_bytes = cfg_.header_bytes;
@@ -167,11 +172,15 @@ net::MessagePtr Aggregator::emit_result(
     ColumnBlock cb;
     cb.column = static_cast<std::uint32_t>(c);
     cb.block = st.cur[c];
-    cb.data.assign(slot.begin() + static_cast<std::ptrdiff_t>(c * cfg_.block_size),
-                   slot.begin() + static_cast<std::ptrdiff_t>((c + 1) * cfg_.block_size));
+    // Move the aggregated column out instead of copying it; a pooled
+    // replacement buffer is reset to identity for the next round. Columns
+    // that were not emitted need no reset: finished columns never fold
+    // again and bootstrap columns already hold identity.
+    cb.data = std::move(slot[c]);
+    slot[c] = acquire_block();
+    slot[c].assign(cfg_.block_size, identity());
     result->columns.push_back(std::move(cb));
   }
-  std::fill(slot.begin(), slot.end(), identity());
   // Advance every column to the newly requested block.
   bool all_done = true;
   for (std::size_t c = 0; c < st.info.columns; ++c) {
@@ -214,8 +223,10 @@ void Aggregator::handle_alg1(SlotState& st, std::uint32_t stream,
   }
   // Round completes when, for every unfinished column, every worker's
   // announced next block lies strictly past the block being aggregated
-  // (Algorithm 1 line 22 generalized per column).
-  std::vector<tensor::BlockIndex> requests(st.info.columns, tensor::kNoBlock);
+  // (Algorithm 1 line 22 generalized per column). The request table is a
+  // member scratch buffer: this runs once per received packet.
+  std::vector<tensor::BlockIndex>& requests = requests_scratch_;
+  requests.assign(st.info.columns, tensor::kNoBlock);
   for (std::size_t c = 0; c < st.info.columns; ++c) {
     if (st.cur[c] == tensor::kNoBlock) continue;
     tensor::BlockIndex mn = tensor::kNoBlock;
@@ -224,7 +235,10 @@ void Aggregator::handle_alg1(SlotState& st, std::uint32_t stream,
     requests[c] = mn;
   }
   drain_pending(st.slot, st.pending);
-  emit_result(st, stream, 0, requests, st.slot);
+  // The previous round's result is dead once every worker has responded to
+  // it: reclaim its buffers for the packet about to be emitted.
+  recycle_packet(st.last_result);
+  st.last_result = emit_result(st, stream, 0, requests, st.slot);
 }
 
 void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
@@ -253,7 +267,7 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
   if (sv.count == 1) {
     // First packet of a fresh round: the slot version is being reused;
     // reset the accumulator and the min-next tracker.
-    std::fill(sv.data.begin(), sv.data.end(), identity());
+    for (auto& col : sv.data) col.assign(cfg_.block_size, identity());
     sv.pending.clear();
     sv.min_next.assign(p->next.begin(), p->next.end());
   } else {
@@ -265,6 +279,9 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
   if (sv.count == n_workers_) {
     sv.count = 0;
     drain_pending(sv.data, sv.pending);
+    // This version's previous result is obsolete once the new round has
+    // completed: every worker has advanced past it. Reclaim its buffers.
+    recycle_packet(sv.last_result);
     sv.last_result = emit_result(st, stream, v, sv.min_next, sv.data);
   }
 }

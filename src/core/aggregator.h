@@ -6,6 +6,7 @@
 
 #include "core/config.h"
 #include "core/messages.h"
+#include "core/reduce_kernels.h"
 #include "core/stream_layout.h"
 #include "net/network.h"
 #include "telemetry/telemetry.h"
@@ -49,8 +50,14 @@ class Aggregator final : public net::Endpoint {
   std::uint64_t rounds_completed() const { return rounds_completed_; }
 
  private:
+  /// Accumulator storage: one block_size buffer per column. Kept as
+  /// separate vectors (not one contiguous slab) so emit_result can move a
+  /// column's buffer into the outgoing ResultPacket and replace it from
+  /// the pool instead of copying block_size floats per column per round.
+  using SlotData = std::vector<std::vector<float>>;
+
   struct SlotVersion {  // Algorithm 2 per-version state
-    std::vector<float> data;
+    SlotData data;
     std::vector<std::uint8_t> seen;            // per worker
     std::size_t count = 0;                     // packets this round
     std::vector<tensor::BlockIndex> min_next;  // per column
@@ -63,9 +70,10 @@ class Aggregator final : public net::Endpoint {
     std::vector<tensor::BlockIndex> cur;  // per column; kNoBlock = finished
     bool done = false;
     // Algorithm 1 state
-    std::vector<float> slot;  // columns * block_size accumulator
+    SlotData slot;  // per-column accumulator
     std::vector<std::vector<tensor::BlockIndex>> next_tbl;  // [col][worker]
     std::vector<std::shared_ptr<const DataPacket>> pending;  // deterministic
+    net::MessagePtr last_result;  // previous round's result, for recycling
     // Algorithm 2 state
     SlotVersion ver[2];
   };
@@ -76,28 +84,39 @@ class Aggregator final : public net::Endpoint {
                    const std::shared_ptr<const DataPacket>& p);
   /// Fold p's block payloads into `slot` with the configured operator,
   /// either immediately or (deterministic mode) via `pending`.
-  void stage(SlotState& st, std::vector<float>& slot,
+  void stage(SlotState& st, SlotData& slot,
              std::vector<std::shared_ptr<const DataPacket>>& pending,
              const std::shared_ptr<const DataPacket>& p) const;
   /// Apply one packet's payload to `slot` (op + optional fixed point).
-  void fold(std::vector<float>& slot, const DataPacket& p) const;
+  void fold(SlotData& slot, const DataPacket& p) const;
   /// Deterministic mode: fold `pending` in worker-id order, then clear it.
-  void drain_pending(std::vector<float>& slot,
+  void drain_pending(SlotData& slot,
                      std::vector<std::shared_ptr<const DataPacket>>& pending)
       const;
   /// Identity element of the configured operator (slot reset value).
   float identity() const;
+  /// Pop a recycled result-block buffer (empty vector if the pool is dry).
+  std::vector<float> acquire_block();
+  /// Pop a recycled ResultPacket (or allocate one when the pool is dry).
+  std::shared_ptr<ResultPacket> acquire_result();
+  /// Reclaim a retired result packet when we are the sole owner: block
+  /// buffers refill the pool and the packet object is reused.
+  void recycle_packet(net::MessagePtr& pkt);
   /// Build + multicast the round's result; advances cur and detects stream
   /// completion. `requests` are per-column global minima; `slot` holds the
   /// aggregated data for the round. Returns the packet for retransmission.
   net::MessagePtr emit_result(SlotState& st, std::uint32_t stream,
                               std::uint8_t ver,
                               const std::vector<tensor::BlockIndex>& requests,
-                              std::vector<float>& slot);
+                              SlotData& slot);
 
   Config cfg_;
   net::Network& net_;
   std::size_t n_workers_;
+  kernels::ReduceKernel kernel_;  // (op, fixed-point) dispatch, hoisted
+  std::vector<std::vector<float>> block_pool_;  // recycled result buffers
+  std::vector<std::shared_ptr<ResultPacket>> result_pool_;  // recycled packets
+  std::vector<tensor::BlockIndex> requests_scratch_;  // per-packet work table
   telemetry::Tracer* tracer_ = nullptr;
   std::int32_t pid_ = 0;
   net::EndpointId self_ = -1;

@@ -1,8 +1,8 @@
 #include "core/sparse_kv.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
-#include <map>
 #include <memory>
 #include <stdexcept>
 
@@ -55,24 +55,33 @@ class KvAggregator final : public net::Endpoint {
     const auto* p = dynamic_cast<const KvPacket*>(msg.get());
     if (p == nullptr) throw std::logic_error("unexpected message");
     nextkey_[p->wid] = p->nextkey;
-    for (std::size_t i = 0; i < p->keys.size(); ++i) {
-      acc_[p->keys[i]] += p->values[i];
-    }
+    merge_run(p->keys, p->values);
     const std::int64_t send_up_to =
         *std::min_element(nextkey_.begin(), nextkey_.end());
     if (send_up_to > sent_) {
       auto r = std::make_shared<KvResult>();
       r->header_bytes = header_bytes_;
       r->nextkey = send_up_to;
-      auto lo = acc_.lower_bound(static_cast<std::int32_t>(
-          std::max<std::int64_t>(sent_, INT32_MIN)));
-      const auto hi =
-          send_up_to >= kInfKey
-              ? acc_.end()
-              : acc_.lower_bound(static_cast<std::int32_t>(send_up_to));
-      for (auto it = lo; it != hi; ++it) {
-        r->keys.push_back(it->first);
-        r->values.push_back(it->second);
+      std::size_t hi = keys_.size();
+      if (send_up_to < kInfKey) {
+        hi = static_cast<std::size_t>(
+            std::lower_bound(
+                keys_.begin() + static_cast<std::ptrdiff_t>(emit_pos_),
+                keys_.end(), static_cast<std::int32_t>(send_up_to)) -
+            keys_.begin());
+      }
+      r->keys.assign(keys_.begin() + static_cast<std::ptrdiff_t>(emit_pos_),
+                     keys_.begin() + static_cast<std::ptrdiff_t>(hi));
+      r->values.assign(vals_.begin() + static_cast<std::ptrdiff_t>(emit_pos_),
+                       vals_.begin() + static_cast<std::ptrdiff_t>(hi));
+      emit_pos_ = hi;
+      // Amortized O(1): drop the emitted prefix once it dominates the run.
+      if (emit_pos_ > 4096 && emit_pos_ * 2 > keys_.size()) {
+        keys_.erase(keys_.begin(),
+                    keys_.begin() + static_cast<std::ptrdiff_t>(emit_pos_));
+        vals_.erase(vals_.begin(),
+                    vals_.begin() + static_cast<std::ptrdiff_t>(emit_pos_));
+        emit_pos_ = 0;
       }
       sent_ = send_up_to;
       ++rounds_;
@@ -82,12 +91,71 @@ class KvAggregator final : public net::Endpoint {
   }
 
  private:
+  /// Fold one sorted (keys, values) run into the accumulator. Incoming
+  /// keys are all >= the watermark already emitted (Algorithm 3: a worker
+  /// never sends below the global minimum it acknowledged), so the merge
+  /// touches only the unemitted tail — no per-pair node allocation, one
+  /// linear pass, values added in arrival order exactly as the keyed-map
+  /// accumulator did.
+  void merge_run(const std::vector<std::int32_t>& ks,
+                 const std::vector<float>& vs) {
+    if (ks.empty()) return;
+    const std::size_t lo = static_cast<std::size_t>(
+        std::lower_bound(
+            keys_.begin() + static_cast<std::ptrdiff_t>(emit_pos_),
+            keys_.end(), ks.front()) -
+        keys_.begin());
+    if (lo == keys_.size()) {  // strictly past the tail: plain append
+      keys_.insert(keys_.end(), ks.begin(), ks.end());
+      vals_.insert(vals_.end(), vs.begin(), vs.end());
+      return;
+    }
+    merge_keys_.clear();
+    merge_vals_.clear();
+    merge_keys_.reserve(keys_.size() - lo + ks.size());
+    merge_vals_.reserve(keys_.size() - lo + ks.size());
+    std::size_t i = lo;
+    std::size_t j = 0;
+    while (i < keys_.size() && j < ks.size()) {
+      if (keys_[i] < ks[j]) {
+        merge_keys_.push_back(keys_[i]);
+        merge_vals_.push_back(vals_[i]);
+        ++i;
+      } else if (ks[j] < keys_[i]) {
+        merge_keys_.push_back(ks[j]);
+        merge_vals_.push_back(vs[j]);
+        ++j;
+      } else {
+        merge_keys_.push_back(keys_[i]);
+        merge_vals_.push_back(vals_[i] + vs[j]);
+        ++i;
+        ++j;
+      }
+    }
+    merge_keys_.insert(merge_keys_.end(), keys_.begin() + static_cast<std::ptrdiff_t>(i),
+                       keys_.end());
+    merge_vals_.insert(merge_vals_.end(), vals_.begin() + static_cast<std::ptrdiff_t>(i),
+                       vals_.end());
+    merge_keys_.insert(merge_keys_.end(), ks.begin() + static_cast<std::ptrdiff_t>(j),
+                       ks.end());
+    merge_vals_.insert(merge_vals_.end(), vs.begin() + static_cast<std::ptrdiff_t>(j),
+                       vs.end());
+    keys_.resize(lo);
+    vals_.resize(lo);
+    keys_.insert(keys_.end(), merge_keys_.begin(), merge_keys_.end());
+    vals_.insert(vals_.end(), merge_vals_.begin(), merge_vals_.end());
+  }
+
   net::Network& net_;
   std::size_t header_bytes_;
   net::EndpointId self_ = -1;
   std::vector<net::EndpointId> workers_;
   std::vector<std::int64_t> nextkey_;
-  std::map<std::int32_t, float> acc_;
+  std::vector<std::int32_t> keys_;  // sorted unique accumulator run
+  std::vector<float> vals_;         // parallel to keys_
+  std::size_t emit_pos_ = 0;        // keys_[0..emit_pos_) already multicast
+  std::vector<std::int32_t> merge_keys_;  // scratch (reused across rounds)
+  std::vector<float> merge_vals_;
   std::int64_t sent_ = std::numeric_limits<std::int64_t>::min();
   std::uint64_t rounds_ = 0;
 };

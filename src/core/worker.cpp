@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <stdexcept>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace omr::core {
 
@@ -54,14 +59,20 @@ tensor::BlockIndex Worker::scan_next(std::size_t stream, std::size_t column,
   const StreamInfo& info = layout_->streams[stream];
   const auto blocks = static_cast<tensor::BlockIndex>(info.blocks());
   const auto width = static_cast<tensor::BlockIndex>(layout_->width);
-  for (tensor::BlockIndex b = after + width; b < blocks; b += width) {
-    if (cfg_.dense_mode ||
-        bitmap_.nonzero(static_cast<tensor::BlockIndex>(info.block_lo) + b)) {
-      return b;
-    }
-  }
-  (void)column;
-  return tensor::kNoBlock;
+  // `after` is always congruent to `column` modulo the fusion width (it is
+  // either column - width at bootstrap or a previous scan result), so the
+  // first candidate is one stride past it.
+  const tensor::BlockIndex from = after + width;
+  if (from >= blocks) return tensor::kNoBlock;
+  if (cfg_.dense_mode) return from;
+  // One packed-bitmap column scan in global block coordinates: stream-local
+  // candidates of `column` are the global indices congruent to
+  // block_lo + column modulo the width, bounded by the stream's range.
+  const auto lo = static_cast<tensor::BlockIndex>(info.block_lo);
+  const tensor::BlockIndex g = bitmap_.next_nonzero_in_column(
+      lo + from, (info.block_lo + column) % layout_->width, layout_->width,
+      static_cast<tensor::BlockIndex>(info.block_hi));
+  return g == tensor::kNoBlock ? tensor::kNoBlock : g - lo;
 }
 
 void Worker::read_block(std::size_t stream, tensor::BlockIndex block,
@@ -71,10 +82,16 @@ void Worker::read_block(std::size_t stream, tensor::BlockIndex block,
       info.block_lo + static_cast<std::size_t>(block);
   const std::size_t lo = global * cfg_.block_size;
   const std::size_t hi = std::min(lo + cfg_.block_size, tensor_->size());
-  out.assign(cfg_.block_size, 0.0f);
-  std::copy(tensor_->values().begin() + static_cast<std::ptrdiff_t>(lo),
-            tensor_->values().begin() + static_cast<std::ptrdiff_t>(hi),
-            out.begin());
+  // Pooled buffers arrive already sized; only a fresh vector pays the
+  // value-initializing resize. The zero padding is written explicitly for
+  // the (at most one) partial block at the tensor end instead of
+  // pre-filling the whole block — full blocks are written exactly once.
+  if (out.size() != cfg_.block_size) out.resize(cfg_.block_size);
+  const auto fill_from =
+      std::copy(tensor_->values().begin() + static_cast<std::ptrdiff_t>(lo),
+                tensor_->values().begin() + static_cast<std::ptrdiff_t>(hi),
+                out.begin());
+  std::fill(fill_from, out.end(), 0.0f);
 }
 
 void Worker::write_block(std::size_t stream, const ColumnBlock& cb) {
@@ -83,9 +100,61 @@ void Worker::write_block(std::size_t stream, const ColumnBlock& cb) {
       info.block_lo + static_cast<std::size_t>(cb.block);
   const std::size_t lo = global * cfg_.block_size;
   const std::size_t hi = std::min(lo + cfg_.block_size, tensor_->size());
-  for (std::size_t i = lo; i < hi; ++i) {
-    (*tensor_)[i] = cb.data[i - lo];
+  float* dst = tensor_->values().data() + lo;
+  const float* src = cb.data.data();
+  const std::size_t n = hi - lo;
+#if defined(__SSE2__)
+  // Result blocks are written once and never re-read during the run (the
+  // protocol advances strictly forward), and the tensor working set is far
+  // larger than the LLC — so stream the stores: a regular store would pay
+  // a read-for-ownership miss per line and evict hot protocol state. The
+  // destination is always 16-byte aligned in practice (block_size-strided
+  // offsets into the vector's allocation); the check keeps this safe.
+  if (reinterpret_cast<std::uintptr_t>(dst) % 16 == 0) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) _mm_stream_ps(dst + i, _mm_loadu_ps(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+    return;
   }
+#endif
+  std::copy(src, src + n, dst);
+}
+
+std::vector<float> Worker::acquire_block() {
+  if (block_pool_.empty()) return {};
+  std::vector<float> v = std::move(block_pool_.back());
+  block_pool_.pop_back();
+  return v;
+}
+
+std::shared_ptr<DataPacket> Worker::acquire_packet() {
+  if (packet_pool_.empty()) return std::make_shared<DataPacket>();
+  std::shared_ptr<DataPacket> p = std::move(packet_pool_.back());
+  packet_pool_.pop_back();
+  return p;
+}
+
+void Worker::recycle_packet(net::MessagePtr& pkt) {
+  // Reclaim a packet we are the sole owner of (the usual case once its
+  // result has arrived: the network and aggregator have released their
+  // references): its block buffers refill block_pool_ and the packet
+  // object itself — control block, columns and next vectors — is reused
+  // for the next round's send. Shared packets — e.g. a duplicate still in
+  // flight under Algorithm 2 — are simply dropped.
+  if (pkt != nullptr && pkt.use_count() == 1) {
+    auto dp = std::const_pointer_cast<DataPacket>(
+        std::dynamic_pointer_cast<const DataPacket>(pkt));
+    if (dp != nullptr) {
+      for (ColumnBlock& cb : dp->columns) {
+        if (cb.data.capacity() > 0) block_pool_.push_back(std::move(cb.data));
+      }
+      dp->columns.clear();  // keeps capacity; data buffers already moved out
+      pkt.reset();
+      packet_pool_.push_back(std::move(dp));
+      return;
+    }
+  }
+  pkt.reset();
 }
 
 sim::Time Worker::staging_deadline(const DataPacket& pkt) const {
@@ -172,7 +241,7 @@ void Worker::on_timeout(std::size_t stream) {
 void Worker::send_initial(std::size_t stream) {
   const StreamInfo& info = layout_->streams[stream];
   StreamState& st = states_[stream];
-  auto pkt = std::make_shared<DataPacket>();
+  auto pkt = acquire_packet();
   pkt->stream = static_cast<std::uint32_t>(stream);
   pkt->ver = 0;
   pkt->wid = wid_;
@@ -226,6 +295,9 @@ void Worker::handle_result(const ResultPacket& r) {
     tracer_->round_advance(telemetry::worker_pid(wid_), sim_.now(), r.stream,
                            r.columns.size());
   }
+  // The acknowledged packet is dead: recycle its block buffers for the
+  // response we are about to assemble.
+  recycle_packet(st.last_sent);
   for (const ColumnBlock& cb : r.columns) {
     write_block(r.stream, cb);
   }
@@ -236,7 +308,7 @@ void Worker::handle_result(const ResultPacket& r) {
     note_stream_done(r.stream);
     return;
   }
-  auto pkt = std::make_shared<DataPacket>();
+  auto pkt = acquire_packet();
   pkt->stream = r.stream;
   pkt->ver = static_cast<std::uint8_t>((r.ver + 1) & 1);
   pkt->wid = wid_;
@@ -248,6 +320,7 @@ void Worker::handle_result(const ResultPacket& r) {
       ColumnBlock cb;
       cb.column = static_cast<std::uint32_t>(c);
       cb.block = st.my_next[c];
+      cb.data = acquire_block();
       read_block(r.stream, cb.block, cb.data);
       pkt->columns.push_back(std::move(cb));
       st.my_next[c] = scan_next(r.stream, c, st.my_next[c]);
@@ -264,7 +337,7 @@ void Worker::handle_result(const ResultPacket& r) {
 void Worker::note_stream_done(std::size_t stream) {
   StreamState& st = states_[stream];
   st.done = true;
-  st.last_sent.reset();
+  recycle_packet(st.last_sent);
   ++streams_done_;
   if (done()) {
     // The protocol is complete; a non-GDR worker must additionally have

@@ -71,6 +71,13 @@ class Worker final : public net::Endpoint {
   void read_block(std::size_t stream, tensor::BlockIndex block,
                   std::vector<float>& out) const;
   void write_block(std::size_t stream, const ColumnBlock& cb);
+  /// Pop a recycled block buffer (empty vector if the pool is dry).
+  std::vector<float> acquire_block();
+  /// Pop a recycled DataPacket (or allocate one when the pool is dry).
+  std::shared_ptr<DataPacket> acquire_packet();
+  /// Return `pkt`'s block buffers to the pool when we are the sole owner,
+  /// then drop the packet. Steady state: packet assembly allocates nothing.
+  void recycle_packet(net::MessagePtr& pkt);
   /// Transmit `pkt` for `stream` no earlier than the staging deadline of
   /// its highest block; arms the retransmission timer under Algorithm 2.
   void send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
@@ -103,6 +110,8 @@ class Worker final : public net::Endpoint {
   sim::Time start_time_ = 0;  // protocol start (after bitmap computation)
 
   std::vector<StreamState> states_;
+  std::vector<std::vector<float>> block_pool_;  // recycled ColumnBlock buffers
+  std::vector<std::shared_ptr<DataPacket>> packet_pool_;  // recycled packets
   std::size_t streams_done_ = 0;
   sim::Time finish_time_ = 0;
 

@@ -43,8 +43,8 @@ sim::Time Network::tx_serialize(NicId nic_id, std::size_t bytes,
 }
 
 void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
-                      sim::Time departure) {
-  const std::size_t bytes = msg->wire_bytes();
+                      sim::Time departure, std::size_t bytes,
+                      std::size_t payload_bytes) {
   const sim::Time arrival = departure + latency_;
   if (loss_rate_ > 0.0 && drop_rng_.next_bool(loss_rate_)) {
     nics_[endpoints_[dst].nic].stats.dropped_messages += 1;
@@ -77,7 +77,7 @@ void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
   }
   if (tracer_ != nullptr) {
     tracer_->message_rx(endpoints_[dst].nic, rx_start, dnic.rx_free, bytes,
-                        msg->payload_bytes());
+                        payload_bytes);
   }
   Endpoint* receiver = endpoints_[dst].endpoint;
   sim_.schedule_at(dnic.rx_free, [receiver, src, msg = std::move(msg)]() {
@@ -88,19 +88,21 @@ void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
 void Network::send(EndpointId src, EndpointId dst, MessagePtr msg) {
   assert(src >= 0 && src < static_cast<EndpointId>(endpoints_.size()));
   assert(dst >= 0 && dst < static_cast<EndpointId>(endpoints_.size()));
-  const sim::Time departure = tx_serialize(endpoints_[src].nic,
-                                           msg->wire_bytes(),
-                                           msg->payload_bytes());
-  deliver(src, dst, std::move(msg), departure);
+  const std::size_t bytes = msg->wire_bytes();
+  const std::size_t payload = msg->payload_bytes();
+  const sim::Time departure =
+      tx_serialize(endpoints_[src].nic, bytes, payload);
+  deliver(src, dst, std::move(msg), departure, bytes, payload);
 }
 
 void Network::send_switch_multicast(EndpointId src,
                                     std::span<const EndpointId> dsts,
                                     MessagePtr msg) {
-  const sim::Time departure = tx_serialize(endpoints_[src].nic,
-                                           msg->wire_bytes(),
-                                           msg->payload_bytes());
-  for (EndpointId dst : dsts) deliver(src, dst, msg, departure);
+  const std::size_t bytes = msg->wire_bytes();
+  const std::size_t payload = msg->payload_bytes();
+  const sim::Time departure =
+      tx_serialize(endpoints_[src].nic, bytes, payload);
+  for (EndpointId dst : dsts) deliver(src, dst, msg, departure, bytes, payload);
 }
 
 }  // namespace omr::net

@@ -137,8 +137,11 @@ class Network {
   sim::Time tx_serialize(NicId nic, std::size_t bytes,
                          std::size_t payload_bytes);
   /// Schedule arrival/RX/delivery of a message departing at `departure`.
+  /// `bytes`/`payload_bytes` are msg's sizes, computed once by the caller
+  /// (multicast delivers the same message to many destinations).
   void deliver(EndpointId src, EndpointId dst, MessagePtr msg,
-               sim::Time departure);
+               sim::Time departure, std::size_t bytes,
+               std::size_t payload_bytes);
 
   sim::Simulator& sim_;
   sim::Time latency_;

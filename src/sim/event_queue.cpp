@@ -1,44 +1,243 @@
 #include "sim/event_queue.h"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
 namespace omr::sim {
 
-EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+namespace {
+
+/// EventId layout: low 32 bits hold slot+1 (so no valid id is 0), high 32
+/// bits the slot generation at scheduling time.
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<EventId>(gen) << 32) |
+         (static_cast<EventId>(slot) + 1);
+}
+
+}  // namespace
+
+std::uint32_t Simulator::alloc_slot(Time t) {
   if (t < now_) throw std::invalid_argument("schedule_at: time in the past");
-  EventId id = next_id_++;
-  queue_.push(Event{t, seq_++, id, std::move(fn)});
-  ++pending_count_;
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    heap_pos_.push_back(0);
+  }
+  return slot;
+}
+
+void Simulator::wheel_insert(Time t, std::uint32_t slot) {
+  std::uint32_t node;
+  if (free_node_ != kNil) {
+    node = free_node_;
+    free_node_ = wheel_pool_[node].next;
+  } else {
+    node = static_cast<std::uint32_t>(wheel_pool_.size());
+    wheel_pool_.emplace_back();
+  }
+  const std::size_t b = static_cast<std::size_t>(t) & kWheelMask;
+  wheel_pool_[node] = WheelNode{/*tail=*/node, slot, slots_[slot].gen, kNil};
+  const std::uint32_t head = bucket_head_[b];
+  if (head == kNil) {
+    bucket_head_[b] = node;
+  } else {
+    WheelNode& h = wheel_pool_[head];
+    wheel_pool_[h.tail].next = node;
+    h.tail = node;
+  }
+  occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  summary_[b >> 12] |= std::uint64_t{1} << ((b >> 6) & 63);
+  heap_pos_[slot] = kWheelPos;
+}
+
+void Simulator::clear_bucket_bit(std::size_t b) {
+  const std::size_t w = b >> 6;
+  occupied_[w] &= ~(std::uint64_t{1} << (b & 63));
+  if (occupied_[w] == 0) {
+    summary_[w >> 6] &= ~(std::uint64_t{1} << (w & 63));
+  }
+}
+
+std::size_t Simulator::next_occupied(std::size_t cursor) const {
+  if (cursor >= kWheelSize) return kWheelSize;
+  std::size_t w = cursor >> 6;
+  std::uint64_t word = occupied_[w] & (~std::uint64_t{0} << (cursor & 63));
+  if (word == 0) {
+    // Jump over empty words via the summary level instead of walking them.
+    ++w;
+    std::size_t sw = w >> 6;
+    if (sw >= summary_.size()) return kWheelSize;
+    std::uint64_t sword = summary_[sw] & (~std::uint64_t{0} << (w & 63));
+    while (sword == 0) {
+      if (++sw >= summary_.size()) return kWheelSize;
+      sword = summary_[sw];
+    }
+    w = (sw << 6) + static_cast<std::size_t>(std::countr_zero(sword));
+    word = occupied_[w];
+  }
+  return (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+}
+
+EventId Simulator::enqueue(Time t, std::uint32_t slot) {
+  const std::uint32_t seq = seq_++;
+  ++pending_;
+  const std::uint32_t gen = slots_[slot].gen;
+  // wheel_base_ <= now_ <= t always holds, so t - wheel_base_ is the
+  // non-negative offset into the window.
+  if (t - wheel_base_ < static_cast<Time>(kWheelSize)) {
+    wheel_insert(t, slot);
+  } else {
+    heap_pos_[slot] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(HeapNode{t, seq, slot});
+    sift_up(heap_.size() - 1);
+  }
+  return make_id(slot, gen);
 }
 
 bool Simulator::cancel(EventId id) {
-  // Lazy cancellation: mark the id; the event is skipped when popped.
-  if (id == 0 || id >= next_id_) return false;
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  if (inserted && pending_count_ > 0) --pending_count_;
-  if (inserted) ++cancelled_total_;
-  return inserted;
+  const std::uint32_t lo = static_cast<std::uint32_t>(id);
+  if (lo == 0) return false;
+  const std::uint32_t slot = lo - 1;
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.gen != static_cast<std::uint32_t>(id >> 32) || !s.fn) return false;
+  if (heap_pos_[slot] != kWheelPos) {
+    remove_at(heap_pos_[slot]);
+  }
+  // A wheel entry is not unlinked: bumping the generation kills it, and the
+  // stale bucket node is dropped when the cursor passes it (bounded by the
+  // window, so cancelled timers cannot accumulate).
+  s.fn.reset();
+  ++s.gen;
+  free_slots_.push_back(slot);
+  ++cancelled_total_;
+  --pending_;
+  return true;
+}
+
+void Simulator::sift_up(std::size_t i) {
+  HeapNode node = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(node, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i].slot] = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = node;
+  heap_pos_[node.slot] = static_cast<std::uint32_t>(i);
+}
+
+void Simulator::sift_down(std::size_t i) {
+  HeapNode node = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], node)) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i].slot] = static_cast<std::uint32_t>(i);
+    i = child;
+  }
+  heap_[i] = node;
+  heap_pos_[node.slot] = static_cast<std::uint32_t>(i);
+}
+
+void Simulator::remove_at(std::size_t pos) {
+  assert(pos < heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[pos] = heap_.back();
+  heap_.pop_back();
+  heap_pos_[heap_[pos].slot] = static_cast<std::uint32_t>(pos);
+  // The replacement may violate the heap property in either direction.
+  if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) / 2])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
 }
 
 Time Simulator::run() { return run_until(kTimeInfinity); }
 
 Time Simulator::run_until(Time deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.t > deadline) break;
-    if (cancelled_.erase(top.id) > 0) {
-      queue_.pop();
+  while (pending_ != 0) {
+    // Find the earliest live wheel entry in [now_, wheel_base_ + window).
+    // Buckets before the cursor have already fired; stale (cancelled)
+    // entries met along the way are dropped and their buckets cleared.
+    const std::size_t cursor =
+        now_ > wheel_base_ ? static_cast<std::size_t>(now_ - wheel_base_) : 0;
+    std::size_t hit = kWheelSize;  // bucket of the earliest live entry
+    for (std::size_t b = next_occupied(cursor); b < kWheelSize;
+         b = next_occupied(b + 1)) {
+      // Pop dead (cancelled) entries off the head; the first live entry is
+      // the bucket's FIFO winner (chains are in schedule order, see
+      // bucket_head_). Dead entries behind a live head wait their turn.
+      std::uint32_t head = bucket_head_[b];
+      while (head != kNil &&
+             slots_[wheel_pool_[head].slot].gen != wheel_pool_[head].gen) {
+        const std::uint32_t dead = head;
+        head = wheel_pool_[dead].next;
+        if (head != kNil) wheel_pool_[head].tail = wheel_pool_[dead].tail;
+        wheel_pool_[dead].next = free_node_;
+        free_node_ = dead;
+      }
+      bucket_head_[b] = head;
+      if (head != kNil) {
+        hit = b;
+        break;
+      }
+      clear_bucket_bit(b);
+    }
+    if (hit != kWheelSize) {
+      const Time t = wheel_base_ + static_cast<Time>(hit);
+      if (t > deadline) break;
+      // FIFO at equal timestamps: the (live) head is the earliest schedule.
+      const std::uint32_t node = bucket_head_[hit];
+      const std::uint32_t slot = wheel_pool_[node].slot;
+      const std::uint32_t next = wheel_pool_[node].next;
+      bucket_head_[hit] = next;
+      if (next != kNil) {
+        wheel_pool_[next].tail = wheel_pool_[node].tail;
+      } else {
+        clear_bucket_bit(hit);
+      }
+      wheel_pool_[node].next = free_node_;
+      free_node_ = node;
+      // Detach the callback and free the slot *before* invoking: the
+      // handler may schedule new events (reusing the slot) or grow the
+      // slot pool.
+      Slot& s = slots_[slot];
+      EventFn fn = std::move(s.fn);
+      s.fn.reset();
+      ++s.gen;
+      free_slots_.push_back(slot);
+      --pending_;
+      now_ = t;
+      ++executed_;
+      fn();
       continue;
     }
-    Event ev = std::move(const_cast<Event&>(top));
-    queue_.pop();
-    --pending_count_;
-    now_ = ev.t;
-    ++executed_;
-    ev.fn();
+    // The wheel is drained: the next event (if any) is in the far heap.
+    // Jump the window straight to its bucket range and migrate everything
+    // that now falls inside — each far event migrates exactly once.
+    if (heap_.empty() || heap_[0].t > deadline) break;
+    wheel_base_ = heap_[0].t & ~static_cast<Time>(kWheelMask);
+    while (!heap_.empty() &&
+           heap_[0].t - wheel_base_ < static_cast<Time>(kWheelSize)) {
+      const HeapNode node = heap_[0];
+      remove_at(0);
+      wheel_insert(node.t, node.slot);
+    }
   }
   // Whether we stopped on an empty queue or a future event, the caller has
   // observed that nothing fires before `deadline`: advance the clock to it.
