@@ -30,8 +30,8 @@ double omni_ms(std::size_t n, double sparsity, double rx_ns,
   fabric.seed = seed;
   device::DeviceModel dev;
   return sim::to_milliseconds(
-      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated, 8,
-                          dev, /*verify=*/false)
+      core::run_allreduce(ts, cfg, core::ClusterSpec::dedicated(8, fabric, dev),
+                          /*verify=*/false)
           .completion_time);
 }
 

@@ -54,8 +54,8 @@ int main() {
     device::DeviceModel dev;
     dev.gdr = true;
     const double block_ms = sim::to_milliseconds(
-        core::run_allreduce(dense_in, cfg, fabric,
-                            core::Deployment::kDedicated, kWorkers, dev,
+        core::run_allreduce(dense_in, cfg,
+                            core::ClusterSpec::dedicated(kWorkers, fabric, dev),
                             /*verify=*/false)
             .completion_time);
 

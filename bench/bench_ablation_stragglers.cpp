@@ -30,8 +30,9 @@ double omni_ms(std::size_t n, sim::Time straggle, std::uint64_t seed) {
   device::DeviceModel dev;
   dev.gdr = true;
   return sim::to_milliseconds(
-      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated,
-                          kWorkers, dev, /*verify=*/true)
+      core::run_allreduce(ts, cfg,
+                          core::ClusterSpec::dedicated(kWorkers, fabric, dev),
+                          /*verify=*/true)
           .completion_time);
 }
 

@@ -9,16 +9,31 @@ using namespace omr;
 
 int main() {
   bench::banner("Figure 1", "Scalability of six DDL workloads (NCCL, 10 Gbps)");
+  const auto& workloads = ddl::benchmark_workloads();
+  constexpr std::size_t kWorkerGrid[] = {2, 4, 8};
+
+  bench::Sweep sweep;
+  std::vector<std::size_t> handles;
+  for (const auto& p : workloads) {
+    for (std::size_t workers : kWorkerGrid) {
+      handles.push_back(sweep.add_value([&p, workers] {
+        ddl::E2EConfig cfg;
+        cfg.n_workers = workers;
+        cfg.bandwidth_bps = 10e9;
+        cfg.sample_elements = bench::e2e_sample_elements();
+        return ddl::evaluate_training(p, ddl::CommMethod::kNcclRing, cfg)
+            .scaling_factor;
+      }));
+    }
+  }
+  sweep.run();
+
   bench::row({"model", "sf@2", "sf@4", "sf@8"});
-  for (const auto& p : ddl::benchmark_workloads()) {
+  std::size_t i = 0;
+  for (const auto& p : workloads) {
     std::vector<std::string> cells{p.name};
-    for (std::size_t workers : {2u, 4u, 8u}) {
-      ddl::E2EConfig cfg;
-      cfg.n_workers = workers;
-      cfg.bandwidth_bps = 10e9;
-      cfg.sample_elements = bench::e2e_sample_elements();
-      const auto r = ddl::evaluate_training(p, ddl::CommMethod::kNcclRing, cfg);
-      cells.push_back(bench::fmt(r.scaling_factor, 3));
+    for (std::size_t workers [[maybe_unused]] : kWorkerGrid) {
+      cells.push_back(bench::fmt(sweep.value(handles[i++]), 3));
     }
     bench::row(cells);
   }

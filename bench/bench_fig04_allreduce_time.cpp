@@ -23,8 +23,9 @@ struct Setup {
   double loss;
 };
 
-double run_omni(const Setup& s, std::size_t workers, double sparsity,
-                std::size_t n, std::uint64_t seed, bench::ReportSink& sink) {
+bench::CellResult run_omni(const Setup& s, std::size_t workers,
+                           double sparsity, std::size_t n, std::uint64_t seed,
+                           bool with_report) {
   sim::Rng rng(seed);
   auto tensors = tensor::make_multi_worker(workers, n, 256, sparsity,
                                            tensor::OverlapMode::kRandom, rng);
@@ -37,7 +38,7 @@ double run_omni(const Setup& s, std::size_t workers, double sparsity,
   cluster.device.gdr = s.gdr;
   // Rolling counters + histograms only: event timelines for 100 MB runs
   // would dwarf the report.
-  cluster.telemetry.enabled = sink.enabled();
+  cluster.telemetry.enabled = with_report;
   cluster.telemetry.trace_events = false;
   char label[64];
   std::snprintf(label, sizeof(label), "fig04/%s/w%zu/s%.2f",
@@ -47,9 +48,10 @@ double run_omni(const Setup& s, std::size_t workers, double sparsity,
   telemetry::RunReport report =
       core::run_allreduce_report(tensors, cfg, cluster, /*verify=*/true,
                                  label);
-  const double ms = report.completion_ms();
-  sink.add(std::move(report));
-  return ms;
+  bench::CellResult cell;
+  cell.value = report.completion_ms();
+  if (with_report) cell.reports.push_back(std::move(report));
+  return cell;
 }
 
 double run_nccl(double bandwidth, std::size_t workers, std::size_t n,
@@ -79,22 +81,48 @@ int main() {
       {"RDMA   @100 Gbps", core::Transport::kRdma, 100e9, false, 0.0},
       {"GDR    @100 Gbps", core::Transport::kRdma, 100e9, true, 0.0},
   };
+  constexpr std::size_t kWorkerGrid[] = {2, 4, 8};
+  constexpr double kSparsities[] = {0.0, 0.6, 0.9, 0.99};
+
+  // Every grid cell is an independent simulation: enqueue them all in the
+  // serial program order (setup-major, then workers, NCCL before the omni
+  // sparsity columns), run across OMR_JOBS cores, and print afterwards.
+  // Report slots follow enqueue order, so the JSON matches a serial run.
+  bench::Sweep sweep(&sink);
+  std::vector<std::vector<std::size_t>> cells;  // [setup*workers] -> handles
+  for (const Setup& s : setups) {
+    for (std::size_t workers : kWorkerGrid) {
+      std::vector<std::size_t> row_cells;
+      row_cells.push_back(sweep.add_value(
+          [&s, workers, n] { return run_nccl(s.bandwidth, workers, n, 1); }));
+      std::uint64_t seed = 2;
+      for (double sparsity : kSparsities) {
+        row_cells.push_back(sweep.add([&s, workers, sparsity, n, seed,
+                                       with_report = sink.enabled()] {
+          return run_omni(s, workers, sparsity, n, seed, with_report);
+        }));
+        ++seed;
+      }
+      cells.push_back(std::move(row_cells));
+    }
+  }
+  sweep.run();
+
+  std::size_t grid_row = 0;
   for (const Setup& s : setups) {
     std::printf("\n--- %s ---\n", s.name);
     bench::row({"workers", "NCCL[ms]", "O,0%[ms]", "O,60%[ms]", "O,90%[ms]",
                 "O,99%[ms]", "ring@line"});
-    for (std::size_t workers : {2u, 4u, 8u}) {
+    for (std::size_t workers : kWorkerGrid) {
       perfmodel::ModelParams mp;
       mp.n_workers = workers;
       mp.bandwidth_bps = s.bandwidth;
       mp.tensor_bytes = static_cast<double>(n) * 4.0;
       mp.alpha_s = 10e-6;
-      bench::row({std::to_string(workers),
-                  bench::fmt(run_nccl(s.bandwidth, workers, n, 1)),
-                  bench::fmt(run_omni(s, workers, 0.0, n, 2, sink)),
-                  bench::fmt(run_omni(s, workers, 0.6, n, 3, sink)),
-                  bench::fmt(run_omni(s, workers, 0.9, n, 4, sink)),
-                  bench::fmt(run_omni(s, workers, 0.99, n, 5, sink)),
+      const auto& rc = cells[grid_row++];
+      bench::row({std::to_string(workers), bench::fmt(sweep.value(rc[0])),
+                  bench::fmt(sweep.value(rc[1])), bench::fmt(sweep.value(rc[2])),
+                  bench::fmt(sweep.value(rc[3])), bench::fmt(sweep.value(rc[4])),
                   bench::fmt(perfmodel::t_ring(mp) * 1e3)});
     }
   }
@@ -102,5 +130,5 @@ int main() {
       "\nPaper shape check: O always beats NCCL from 60%% sparsity; dense O\n"
       "with 2 workers is not faster than NCCL; RDMA flattens beyond ~90%%\n"
       "sparsity (PCIe staging floor) while GDR keeps improving.\n");
-  return 0;
+  return bench::finish(sink);
 }

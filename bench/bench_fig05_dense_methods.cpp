@@ -1,6 +1,7 @@
 // Fig. 5: OmniReduce vs dense AllReduce methods at 100 Gbps, 8 workers,
 // sparsity sweep. † marks GDR. Series: OmniReduce†, OmniReduce(Co)†,
 // OmniReduce (RDMA, staged), NCCL†, NCCL, BytePS, SwitchML*.
+#include <array>
 #include <cstdio>
 
 #include "baselines/parameter_server.h"
@@ -25,7 +26,7 @@ std::vector<tensor::DenseTensor> make(std::size_t n, double s,
                                    tensor::OverlapMode::kRandom, rng);
 }
 
-double omni(std::size_t n, double s, bool gdr, core::Deployment dep,
+double omni(std::size_t n, double s, bool gdr, bool colocated,
             std::uint64_t seed) {
   auto ts = make(n, s, seed);
   core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
@@ -35,9 +36,11 @@ double omni(std::size_t n, double s, bool gdr, core::Deployment dep,
   fabric.seed = seed;
   device::DeviceModel dev;
   dev.gdr = gdr;
+  const core::ClusterSpec cluster =
+      colocated ? core::ClusterSpec::colocated(fabric, dev)
+                : core::ClusterSpec::dedicated(kWorkers, fabric, dev);
   return sim::to_milliseconds(
-      core::run_allreduce(ts, cfg, fabric, dep, kWorkers, dev,
-                          /*verify=*/false)
+      core::run_allreduce(ts, cfg, cluster, /*verify=*/false)
           .completion_time);
 }
 
@@ -85,19 +88,38 @@ int main() {
   bench::banner("Figure 5",
                 "Dense AllReduce methods at 100 Gbps, 8 workers (ms)");
   std::printf("tensor: %.1f MB; dagger = GDR\n", n * 4.0 / 1e6);
+  constexpr double kSparsities[] = {0.0, 0.2, 0.6, 0.8,  0.9,
+                                    0.92, 0.96, 0.98, 0.99};
+
+  // Independent cells: four dense baselines plus three omni columns per
+  // sparsity row, all enqueued up front and fanned across OMR_JOBS cores.
+  bench::Sweep sweep;
+  const std::size_t c_nccl_gdr =
+      sweep.add_value([n] { return nccl(n, true, 1); });
+  const std::size_t c_nccl = sweep.add_value([n] { return nccl(n, false, 1); });
+  const std::size_t c_byteps = sweep.add_value([n] { return byteps(n, 2); });
+  const std::size_t c_switchml =
+      sweep.add_value([n] { return switchml(n, 3); });
+  std::vector<std::array<std::size_t, 3>> omni_cells;
+  for (double s : kSparsities) {
+    omni_cells.push_back(
+        {sweep.add_value([n, s] { return omni(n, s, true, false, 4); }),
+         sweep.add_value([n, s] { return omni(n, s, true, true, 5); }),
+         sweep.add_value([n, s] { return omni(n, s, false, false, 6); })});
+  }
+  sweep.run();
+
   bench::row({"sparsity", "Omni+", "Omni(Co)+", "Omni", "NCCL+", "NCCL",
               "BytePS", "SwitchML*"});
-  const double nccl_gdr = nccl(n, true, 1);
-  const double nccl_plain = nccl(n, false, 1);
-  const double byteps_ms = byteps(n, 2);
-  const double switchml_ms = switchml(n, 3);
-  for (double s : {0.0, 0.2, 0.6, 0.8, 0.9, 0.92, 0.96, 0.98, 0.99}) {
-    bench::row({bench::fmt_pct(s, 0),
-                bench::fmt(omni(n, s, true, core::Deployment::kDedicated, 4)),
-                bench::fmt(omni(n, s, true, core::Deployment::kColocated, 5)),
-                bench::fmt(omni(n, s, false, core::Deployment::kDedicated, 6)),
-                bench::fmt(nccl_gdr), bench::fmt(nccl_plain),
-                bench::fmt(byteps_ms), bench::fmt(switchml_ms)});
+  std::size_t i = 0;
+  for (double s : kSparsities) {
+    const auto& c = omni_cells[i++];
+    bench::row({bench::fmt_pct(s, 0), bench::fmt(sweep.value(c[0])),
+                bench::fmt(sweep.value(c[1])), bench::fmt(sweep.value(c[2])),
+                bench::fmt(sweep.value(c_nccl_gdr)),
+                bench::fmt(sweep.value(c_nccl)),
+                bench::fmt(sweep.value(c_byteps)),
+                bench::fmt(sweep.value(c_switchml))});
   }
   std::printf(
       "\nPaper shape check: BytePS ~ NCCL; SwitchML* beats NCCL on dense\n"

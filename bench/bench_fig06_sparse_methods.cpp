@@ -1,6 +1,7 @@
 // Fig. 6: OmniReduce vs sparse AllReduce methods at 10 Gbps, 8 workers —
 // speedup over dense NCCL ring as sparsity varies. Format conversion costs
 // excluded (Fig. 8 covers them).
+#include <array>
 #include <cstdio>
 
 #include "baselines/agsparse.h"
@@ -42,7 +43,7 @@ baselines::BaselineConfig bcfg(std::uint64_t seed) {
   return cfg;
 }
 
-double omni(std::size_t n, double s, core::Transport t, core::Deployment dep,
+double omni(std::size_t n, double s, core::Transport t, bool colocated,
             std::uint64_t seed) {
   auto ts = make(n, s, seed);
   core::Config cfg = core::Config::for_transport(t);
@@ -51,9 +52,30 @@ double omni(std::size_t n, double s, core::Transport t, core::Deployment dep,
   fabric.aggregator_bandwidth_bps = kBw;
   fabric.seed = seed;
   device::DeviceModel dev;  // 10 Gbps: PCIe never binds
-  return sim::to_seconds(core::run_allreduce(ts, cfg, fabric, dep, kWorkers,
-                                             dev, /*verify=*/false)
-                             .completion_time);
+  const core::ClusterSpec cluster =
+      colocated ? core::ClusterSpec::colocated(fabric, dev)
+                : core::ClusterSpec::dedicated(kWorkers, fabric, dev);
+  return sim::to_seconds(
+      core::run_allreduce(ts, cfg, cluster, /*verify=*/false)
+          .completion_time);
+}
+
+double sparcml_s(std::size_t n, double s, std::uint64_t cfg_seed,
+                 baselines::SparcmlVariant variant) {
+  const auto coo = to_coo(make(n, s, 1));
+  tensor::CooTensor out;
+  return sim::to_seconds(
+      baselines::sparcml_allreduce(coo, out, bcfg(cfg_seed), variant)
+          .completion_time);
+}
+
+double agsparse_s(std::size_t n, double s, std::uint64_t cfg_seed,
+                  baselines::AgStack stack) {
+  const auto coo = to_coo(make(n, s, 1));
+  std::vector<tensor::CooTensor> outs;
+  return sim::to_seconds(
+      baselines::agsparse_allreduce(coo, outs, bcfg(cfg_seed), stack)
+          .completion_time);
 }
 
 }  // namespace
@@ -64,46 +86,62 @@ int main() {
                 "Sparse AllReduce methods at 10 Gbps, 8 workers "
                 "(speedup vs dense NCCL)");
   std::printf("tensor: %.1f MB, random overlap\n", n * 4.0 / 1e6);
+  constexpr double kSparsities[] = {0.0, 0.2, 0.6, 0.8,  0.9,
+                                    0.92, 0.96, 0.98, 0.99};
+
+  // Nine independent simulations per sparsity row. Each job regenerates
+  // its own inputs from the fixed seeds (the engines reduce tensors in
+  // place, so sharing one generated set across pool threads is unsafe);
+  // the seeds match the old serial program, so numbers are unchanged.
+  bench::Sweep sweep;
+  std::vector<std::array<std::size_t, 9>> rows;
+  for (double s : kSparsities) {
+    std::array<std::size_t, 9> c{};
+    c[0] = sweep.add_value([n, s] {
+      auto ring_copy = make(n, s, 1);
+      return sim::to_seconds(
+          baselines::ring_allreduce(ring_copy, bcfg(1), false)
+              .completion_time);
+    });
+    c[1] = sweep.add_value([n, s] {
+      return sparcml_s(n, s, 2, baselines::SparcmlVariant::kSsarSplitAllgather);
+    });
+    c[2] = sweep.add_value([n, s] {
+      return sparcml_s(n, s, 3, baselines::SparcmlVariant::kDsarSplitAllgather);
+    });
+    c[3] = sweep.add_value(
+        [n, s] { return agsparse_s(n, s, 4, baselines::AgStack::kNccl); });
+    c[4] = sweep.add_value(
+        [n, s] { return agsparse_s(n, s, 5, baselines::AgStack::kGloo); });
+    c[5] = sweep.add_value([n, s] {
+      const auto dense = make(n, s, 1);
+      return sim::to_seconds(
+          baselines::parallax_allreduce(dense, bcfg(6)).completion_time);
+    });
+    c[6] = sweep.add_value(
+        [n, s] { return omni(n, s, core::Transport::kRdma, false, 7); });
+    c[7] = sweep.add_value(
+        [n, s] { return omni(n, s, core::Transport::kRdma, true, 8); });
+    c[8] = sweep.add_value(
+        [n, s] { return omni(n, s, core::Transport::kDpdk, false, 9); });
+    rows.push_back(c);
+  }
+  sweep.run();
+
   bench::row({"sparsity", "O-RDMA", "O-RDMA(Co)", "O-DPDK", "SSAR", "DSAR",
               "AGsp(N)", "AGsp(G)", "Parallax"});
-  for (double s : {0.0, 0.2, 0.6, 0.8, 0.9, 0.92, 0.96, 0.98, 0.99}) {
-    auto dense = make(n, s, 1);
-    auto ring_copy = dense;
-    const double base = sim::to_seconds(
-        baselines::ring_allreduce(ring_copy, bcfg(1), false).completion_time);
-    const auto coo = to_coo(dense);
-
-    tensor::CooTensor out;
-    const double ssar = sim::to_seconds(
-        baselines::sparcml_allreduce(coo, out, bcfg(2),
-                                     baselines::SparcmlVariant::kSsarSplitAllgather)
-            .completion_time);
-    const double dsar = sim::to_seconds(
-        baselines::sparcml_allreduce(coo, out, bcfg(3),
-                                     baselines::SparcmlVariant::kDsarSplitAllgather)
-            .completion_time);
-    std::vector<tensor::CooTensor> outs;
-    const double ag_nccl = sim::to_seconds(
-        baselines::agsparse_allreduce(coo, outs, bcfg(4),
-                                      baselines::AgStack::kNccl)
-            .completion_time);
-    const double ag_gloo = sim::to_seconds(
-        baselines::agsparse_allreduce(coo, outs, bcfg(5),
-                                      baselines::AgStack::kGloo)
-            .completion_time);
-    const double parallax = sim::to_seconds(
-        baselines::parallax_allreduce(dense, bcfg(6)).completion_time);
-
-    bench::row({bench::fmt_pct(s, 0),
-                bench::fmt(base / omni(n, s, core::Transport::kRdma,
-                                       core::Deployment::kDedicated, 7), 2),
-                bench::fmt(base / omni(n, s, core::Transport::kRdma,
-                                       core::Deployment::kColocated, 8), 2),
-                bench::fmt(base / omni(n, s, core::Transport::kDpdk,
-                                       core::Deployment::kDedicated, 9), 2),
-                bench::fmt(base / ssar, 2), bench::fmt(base / dsar, 2),
-                bench::fmt(base / ag_nccl, 2), bench::fmt(base / ag_gloo, 2),
-                bench::fmt(base / parallax, 2)});
+  std::size_t i = 0;
+  for (double s : kSparsities) {
+    const auto& c = rows[i++];
+    const double base = sweep.value(c[0]);
+    bench::row({bench::fmt_pct(s, 0), bench::fmt(base / sweep.value(c[6]), 2),
+                bench::fmt(base / sweep.value(c[7]), 2),
+                bench::fmt(base / sweep.value(c[8]), 2),
+                bench::fmt(base / sweep.value(c[1]), 2),
+                bench::fmt(base / sweep.value(c[2]), 2),
+                bench::fmt(base / sweep.value(c[3]), 2),
+                bench::fmt(base / sweep.value(c[4]), 2),
+                bench::fmt(base / sweep.value(c[5]), 2)});
   }
   std::printf(
       "\nPaper shape check: OmniReduce >= 1.5x at every sparsity and the\n"

@@ -1,5 +1,6 @@
 // Fig. 7: scalability of sparse AllReduce methods — speedup over dense
 // NCCL as the worker count grows, at four sparsity levels (10 Gbps).
+#include <array>
 #include <cstdio>
 
 #include "baselines/agsparse.h"
@@ -25,62 +26,113 @@ std::vector<tensor::DenseTensor> make(std::size_t workers, std::size_t n,
                                    tensor::OverlapMode::kRandom, rng);
 }
 
+std::vector<tensor::CooTensor> make_coo(std::size_t workers, std::size_t n,
+                                        double s, std::uint64_t seed) {
+  std::vector<tensor::CooTensor> coo;
+  for (const auto& t : make(workers, n, s, seed)) {
+    coo.push_back(tensor::dense_to_coo(t));
+  }
+  return coo;
+}
+
+baselines::BaselineConfig bcfg() {
+  baselines::BaselineConfig bc;
+  bc.bandwidth_bps = kBw;
+  return bc;
+}
+
+double sparcml_s(std::size_t workers, std::size_t n, double s,
+                 baselines::SparcmlVariant variant) {
+  const auto coo = make_coo(workers, n, s, workers);
+  tensor::CooTensor out;
+  return sim::to_seconds(
+      baselines::sparcml_allreduce(coo, out, bcfg(), variant)
+          .completion_time);
+}
+
+double agsparse_s(std::size_t workers, std::size_t n, double s,
+                  baselines::AgStack stack) {
+  const auto coo = make_coo(workers, n, s, workers);
+  std::vector<tensor::CooTensor> outs;
+  return sim::to_seconds(
+      baselines::agsparse_allreduce(coo, outs, bcfg(), stack)
+          .completion_time);
+}
+
 }  // namespace
 
 int main() {
   const std::size_t n = bench::micro_tensor_elements();
   bench::banner("Figure 7",
                 "Sparse method scalability (speedup vs dense NCCL, 10 Gbps)");
-  for (double s : {0.0, 0.6, 0.8, 0.96}) {
+  constexpr double kSparsities[] = {0.0, 0.6, 0.8, 0.96};
+  constexpr std::size_t kWorkerGrid[] = {2, 4, 8};
+
+  // Seven independent simulations per (sparsity, workers) cell; each job
+  // regenerates the inputs from seed = workers, matching the serial loop.
+  bench::Sweep sweep;
+  std::vector<std::array<std::size_t, 7>> rows;
+  for (double s : kSparsities) {
+    for (std::size_t workers : kWorkerGrid) {
+      std::array<std::size_t, 7> c{};
+      c[0] = sweep.add_value([workers, n, s] {
+        auto ring_copy = make(workers, n, s, workers);
+        return sim::to_seconds(
+            baselines::ring_allreduce(ring_copy, bcfg(), false)
+                .completion_time);
+      });
+      c[1] = sweep.add_value([workers, n, s] {
+        return sparcml_s(workers, n, s,
+                         baselines::SparcmlVariant::kSsarSplitAllgather);
+      });
+      c[2] = sweep.add_value([workers, n, s] {
+        return sparcml_s(workers, n, s,
+                         baselines::SparcmlVariant::kDsarSplitAllgather);
+      });
+      c[3] = sweep.add_value([workers, n, s] {
+        return agsparse_s(workers, n, s, baselines::AgStack::kNccl);
+      });
+      c[4] = sweep.add_value([workers, n, s] {
+        return agsparse_s(workers, n, s, baselines::AgStack::kGloo);
+      });
+      c[5] = sweep.add_value([workers, n, s] {
+        const auto dense = make(workers, n, s, workers);
+        return sim::to_seconds(
+            baselines::parallax_allreduce(dense, bcfg()).completion_time);
+      });
+      c[6] = sweep.add_value([workers, n, s] {
+        auto omni_ts = make(workers, n, s, workers);
+        core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
+        core::FabricConfig fabric;
+        fabric.worker_bandwidth_bps = kBw;
+        fabric.aggregator_bandwidth_bps = kBw;
+        device::DeviceModel dev;
+        return sim::to_seconds(
+            core::run_allreduce(
+                omni_ts, cfg,
+                core::ClusterSpec::dedicated(workers, fabric, dev), false)
+                .completion_time);
+      });
+      rows.push_back(c);
+    }
+  }
+  sweep.run();
+
+  std::size_t i = 0;
+  for (double s : kSparsities) {
     std::printf("\n--- sparsity %.0f%% ---\n", s * 100);
     bench::row({"workers", "OmniReduce", "SSAR", "DSAR", "AGsp(N)",
                 "AGsp(G)", "Parallax"});
-    for (std::size_t workers : {2u, 4u, 8u}) {
-      auto dense = make(workers, n, s, workers);
-      auto ring_copy = dense;
-      baselines::BaselineConfig bc;
-      bc.bandwidth_bps = kBw;
-      const double base = sim::to_seconds(
-          baselines::ring_allreduce(ring_copy, bc, false).completion_time);
-
-      std::vector<tensor::CooTensor> coo;
-      for (const auto& t : dense) coo.push_back(tensor::dense_to_coo(t));
-      tensor::CooTensor out;
-      const double ssar = sim::to_seconds(
-          baselines::sparcml_allreduce(
-              coo, out, bc, baselines::SparcmlVariant::kSsarSplitAllgather)
-              .completion_time);
-      const double dsar = sim::to_seconds(
-          baselines::sparcml_allreduce(
-              coo, out, bc, baselines::SparcmlVariant::kDsarSplitAllgather)
-              .completion_time);
-      std::vector<tensor::CooTensor> outs;
-      const double agn = sim::to_seconds(
-          baselines::agsparse_allreduce(coo, outs, bc,
-                                        baselines::AgStack::kNccl)
-              .completion_time);
-      const double agg = sim::to_seconds(
-          baselines::agsparse_allreduce(coo, outs, bc,
-                                        baselines::AgStack::kGloo)
-              .completion_time);
-      const double parallax = sim::to_seconds(
-          baselines::parallax_allreduce(dense, bc).completion_time);
-
-      core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
-      core::FabricConfig fabric;
-      fabric.worker_bandwidth_bps = kBw;
-      fabric.aggregator_bandwidth_bps = kBw;
-      device::DeviceModel dev;
-      auto omni_ts = dense;
-      const double omni = sim::to_seconds(
-          core::run_allreduce(omni_ts, cfg, fabric,
-                              core::Deployment::kDedicated, workers, dev,
-                              false)
-              .completion_time);
-      bench::row({std::to_string(workers), bench::fmt(base / omni, 2),
-                  bench::fmt(base / ssar, 2), bench::fmt(base / dsar, 2),
-                  bench::fmt(base / agn, 2), bench::fmt(base / agg, 2),
-                  bench::fmt(base / parallax, 2)});
+    for (std::size_t workers : kWorkerGrid) {
+      const auto& c = rows[i++];
+      const double base = sweep.value(c[0]);
+      bench::row({std::to_string(workers),
+                  bench::fmt(base / sweep.value(c[6]), 2),
+                  bench::fmt(base / sweep.value(c[1]), 2),
+                  bench::fmt(base / sweep.value(c[2]), 2),
+                  bench::fmt(base / sweep.value(c[3]), 2),
+                  bench::fmt(base / sweep.value(c[4]), 2),
+                  bench::fmt(base / sweep.value(c[5]), 2)});
     }
   }
   std::printf(

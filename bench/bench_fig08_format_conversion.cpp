@@ -75,8 +75,8 @@ int main() {
     fabric.aggregator_bandwidth_bps = 10e9;
     device::DeviceModel dev;
     const double t = sim::to_milliseconds(
-        core::run_allreduce(c, cfg, fabric, core::Deployment::kDedicated, 8,
-                            dev, false)
+        core::run_allreduce(c, cfg, core::ClusterSpec::dedicated(8, fabric, dev),
+                            false)
             .completion_time);
     bench::row({"OmniReduce", "0.00", bench::fmt(t), "0.00", bench::fmt(t)});
   }

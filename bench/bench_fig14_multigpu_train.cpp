@@ -67,8 +67,8 @@ int main() {
     fabric.worker_bandwidth_bps = 100e9;
     fabric.aggregator_bandwidth_bps = 100e9;
     core::HierarchicalStats st = core::run_hierarchical_allreduce(
-        grads, cfg, fabric, core::Deployment::kDedicated, kServers,
-        device::DeviceModel{}, hier, /*verify=*/false);
+        grads, cfg, core::ClusterSpec::dedicated(kServers, fabric, device::DeviceModel{}),
+        hier, /*verify=*/false);
     const double omni_comm = sim::to_seconds(st.total) * scale;
 
     const double tc = w.compute_time_s / kV100Speedup;

@@ -27,8 +27,8 @@ double run_ms(std::size_t n, std::size_t bs, bool fusion, double sparsity,
   fabric.seed = seed;
   device::DeviceModel dev;
   return sim::to_milliseconds(
-      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated, 8,
-                          dev, /*verify=*/false)
+      core::run_allreduce(ts, cfg, core::ClusterSpec::dedicated(8, fabric, dev),
+                          /*verify=*/false)
           .completion_time);
 }
 
@@ -44,13 +44,30 @@ int main() {
   bench::banner("Figure 15", "Block size x sparsity, with/without Block "
                              "Fusion (10 Gbps, 8 workers, ms)");
   std::printf("tensor: %.1f MB\n", n * 4.0 / 1e6);
+  constexpr double kSparsities[] = {0.0, 0.2, 0.6, 0.8,  0.9,
+                                    0.92, 0.96, 0.98, 0.99};
+  constexpr std::size_t kBlockSizes[] = {32, 64, 128, 256};
+
+  bench::Sweep sweep;
+  std::vector<std::size_t> handles;
+  for (bool fusion : {true, false}) {
+    for (double s : kSparsities) {
+      for (std::size_t bs : kBlockSizes) {
+        handles.push_back(sweep.add_value(
+            [n, bs, fusion, s] { return run_ms(n, bs, fusion, s, 1); }));
+      }
+    }
+  }
+  sweep.run();
+
+  std::size_t i = 0;
   for (bool fusion : {true, false}) {
     std::printf("\n--- %s ---\n", fusion ? "BF (Block Fusion)" : "NBF");
     bench::row({"sparsity", "bs=32", "bs=64", "bs=128", "bs=256"});
-    for (double s : {0.0, 0.2, 0.6, 0.8, 0.9, 0.92, 0.96, 0.98, 0.99}) {
+    for (double s : kSparsities) {
       std::vector<std::string> cells{bench::fmt_pct(s, 0)};
-      for (std::size_t bs : {32u, 64u, 128u, 256u}) {
-        cells.push_back(bench::fmt(run_ms(n, bs, fusion, s, 1)));
+      for (std::size_t bs [[maybe_unused]] : kBlockSizes) {
+        cells.push_back(bench::fmt(sweep.value(handles[i++])));
       }
       bench::row(cells);
     }

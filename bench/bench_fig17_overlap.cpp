@@ -27,8 +27,9 @@ double run_ms(std::size_t workers, std::size_t n, double s,
   fabric.seed = seed;
   device::DeviceModel dev;
   return sim::to_milliseconds(
-      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated,
-                          workers, dev, /*verify=*/false)
+      core::run_allreduce(ts, cfg,
+                          core::ClusterSpec::dedicated(workers, fabric, dev),
+                          /*verify=*/false)
           .completion_time);
 }
 

@@ -43,8 +43,9 @@ double server_s(std::size_t n, double s, std::uint64_t seed) {
   fabric.seed = seed;
   device::DeviceModel dev;
   return sim::to_seconds(
-      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated,
-                          kWorkers, dev, /*verify=*/false)
+      core::run_allreduce(ts, cfg,
+                          core::ClusterSpec::dedicated(kWorkers, fabric, dev),
+                          /*verify=*/false)
           .completion_time);
 }
 

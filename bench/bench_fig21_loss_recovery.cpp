@@ -2,6 +2,7 @@
 // DPDK-based OmniReduce retransmits selectively (Algorithm 2); Gloo and
 // NCCL-over-TCP suffer TCP congestion collapse, modelled with the Mathis
 // throughput bound.
+#include <array>
 #include <cstdio>
 
 #include "baselines/ring.h"
@@ -19,8 +20,8 @@ namespace {
 constexpr double kBw = 10e9;
 constexpr std::size_t kWorkers = 8;
 
-double omni_ms(std::size_t n, double sparsity, double loss,
-               std::uint64_t seed, bench::ReportSink& sink) {
+bench::CellResult omni_cell(std::size_t n, double sparsity, double loss,
+                            std::uint64_t seed, bool with_report) {
   sim::Rng rng(seed);
   auto ts = tensor::make_multi_worker(kWorkers, n, 256, sparsity,
                                       tensor::OverlapMode::kRandom, rng);
@@ -31,15 +32,16 @@ double omni_ms(std::size_t n, double sparsity, double loss,
   cluster.fabric.aggregator_bandwidth_bps = kBw;
   cluster.fabric.loss_rate = loss;
   cluster.fabric.seed = seed;
-  cluster.telemetry.enabled = sink.enabled();
+  cluster.telemetry.enabled = with_report;
   cluster.telemetry.trace_events = false;  // counters/histograms only
   char label[64];
   std::snprintf(label, sizeof(label), "fig21/s%.2f/loss%.4f", sparsity, loss);
   telemetry::RunReport report = core::run_allreduce_report(
       ts, cfg, cluster, /*verify=*/false, label);
-  const double ms = report.completion_ms();
-  sink.add(std::move(report));
-  return ms;
+  bench::CellResult cell;
+  cell.value = report.completion_ms();
+  if (with_report) cell.reports.push_back(std::move(report));
+  return cell;
 }
 
 /// Ring AllReduce over a TCP stack whose goodput follows the Mathis bound.
@@ -64,18 +66,46 @@ int main() {
   std::printf("tensor: %.1f MB, 8 workers, 10 Gbps; cells are\n"
               "time(loss) - time(no loss) in ms\n",
               n * 4.0 / 1e6);
+  constexpr double kLossRates[] = {0.0001, 0.001, 0.01};
+  const bool with_report = sink.enabled();
+
+  // Cells carry absolute completion times; the table prints deltas
+  // against the zero-loss baselines after the sweep finishes.
+  bench::Sweep sweep(&sink);
+  auto omni = [&sweep, n, with_report](double sparsity, double loss,
+                                       std::uint64_t seed) {
+    return sweep.add([n, sparsity, loss, seed, with_report] {
+      return omni_cell(n, sparsity, loss, seed, with_report);
+    });
+  };
+  const std::size_t b0 = omni(0.0, 0.0, 1);
+  const std::size_t b90 = omni(0.9, 0.0, 2);
+  const std::size_t b99 = omni(0.99, 0.0, 3);
+  std::vector<std::array<std::size_t, 3>> loss_cells;
+  {
+    std::uint64_t seed = 4;
+    for (double loss : kLossRates) {
+      loss_cells.push_back({omni(0.0, loss, seed), omni(0.9, loss, seed + 1),
+                            omni(0.99, loss, seed + 2)});
+      seed = 4;  // the serial program reused seeds 4..6 per loss rate
+    }
+  }
+  sweep.run();
+
   bench::row({"loss rate", "O(s=0%)", "O(s=90%)", "O(s=99%)", "Gloo",
               "NCCL-TCP"});
-  const double o0 = omni_ms(n, 0.0, 0.0, 1, sink);
-  const double o90 = omni_ms(n, 0.9, 0.0, 2, sink);
-  const double o99 = omni_ms(n, 0.99, 0.0, 3, sink);
+  const double o0 = sweep.value(b0);
+  const double o90 = sweep.value(b90);
+  const double o99 = sweep.value(b99);
   const double gloo0 = tcp_ring_ms(n, 0.0, 0.8);  // Gloo: CPU-bound stack
   const double nccl0 = tcp_ring_ms(n, 0.0, 0.95);
-  for (double loss : {0.0001, 0.001, 0.01}) {
+  std::size_t i = 0;
+  for (double loss : kLossRates) {
+    const auto& c = loss_cells[i++];
     bench::row({bench::fmt_pct(loss, 2),
-                bench::fmt(omni_ms(n, 0.0, loss, 4, sink) - o0),
-                bench::fmt(omni_ms(n, 0.9, loss, 5, sink) - o90),
-                bench::fmt(omni_ms(n, 0.99, loss, 6, sink) - o99),
+                bench::fmt(sweep.value(c[0]) - o0),
+                bench::fmt(sweep.value(c[1]) - o90),
+                bench::fmt(sweep.value(c[2]) - o99),
                 bench::fmt(tcp_ring_ms(n, loss, 0.8) - gloo0),
                 bench::fmt(tcp_ring_ms(n, loss, 0.95) - nccl0)});
   }
@@ -83,5 +113,5 @@ int main() {
       "\nPaper shape check: OmniReduce's selective retransmission costs\n"
       "only a few ms even at 1%% loss; TCP-based Gloo/NCCL degrade sharply\n"
       "at 1%% (congestion control).\n");
-  return 0;
+  return bench::finish(sink);
 }

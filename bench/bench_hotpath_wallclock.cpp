@@ -25,6 +25,7 @@
 #include "core/cluster.h"
 #include "core/engine.h"
 #include "core/sparse_kv.h"
+#include "runner/sweep.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "tensor/blocks.h"
@@ -396,27 +397,39 @@ int main(int argc, char** argv) {
        }},
   };
 
-  std::vector<Result> results;
+  std::vector<const Entry*> selected;
   for (const Entry& e : entries) {
     if (!only.empty() && only != e.name) continue;
-    results.push_back(e.run(smoke, repeats));
-    const Result& res = results.back();
-    std::printf("%-28s %10.2f ms", e.name, res.wall_ms);
-    if (res.has_sim) {
-      std::printf("  (sim=%llu ns, msgs=%llu, rounds=%llu, rtx=%llu)",
-                  static_cast<unsigned long long>(res.sim_completion_ns),
-                  static_cast<unsigned long long>(res.sim_total_messages),
-                  static_cast<unsigned long long>(res.sim_rounds),
-                  static_cast<unsigned long long>(res.sim_retransmissions));
-    } else {
-      std::printf("  (%.0f %s)", res.work_units, res.unit.c_str());
-    }
-    std::printf("\n");
+    selected.push_back(&e);
   }
-  if (results.empty()) {
+  if (selected.empty()) {
     std::fprintf(stderr, "no benchmark named '%s'\n", only.c_str());
     return 2;
   }
+
+  // The workloads are independent deterministic simulations, so fan them
+  // out across OMR_JOBS cores; results commit (print + record) in entry
+  // order. The simulated fields stay bit-identical regardless of the job
+  // count; the wall-clock numbers are only meaningful for perf tracking
+  // when run serially (OMR_JOBS=1) on an otherwise idle machine.
+  std::vector<Result> results;
+  omr::runner::parallel_for_each<Result>(
+      selected.size(),
+      [&](std::size_t i) { return selected[i]->run(smoke, repeats); },
+      [&](std::size_t i, Result&& res) {
+        std::printf("%-28s %10.2f ms", selected[i]->name, res.wall_ms);
+        if (res.has_sim) {
+          std::printf("  (sim=%llu ns, msgs=%llu, rounds=%llu, rtx=%llu)",
+                      static_cast<unsigned long long>(res.sim_completion_ns),
+                      static_cast<unsigned long long>(res.sim_total_messages),
+                      static_cast<unsigned long long>(res.sim_rounds),
+                      static_cast<unsigned long long>(res.sim_retransmissions));
+        } else {
+          std::printf("  (%.0f %s)", res.work_units, res.unit.c_str());
+        }
+        std::printf("\n");
+        results.push_back(std::move(res));
+      });
 
   write_json(results, label, smoke, out_path);
   return 0;

@@ -31,8 +31,9 @@ double omni_ms(std::size_t workers, std::size_t n, double s,
   device::DeviceModel dev;
   dev.gdr = true;
   return sim::to_milliseconds(
-      core::run_allreduce(ts, cfg, fabric, core::Deployment::kDedicated,
-                          workers, dev, /*verify=*/false)
+      core::run_allreduce(ts, cfg,
+                          core::ClusterSpec::dedicated(workers, fabric, dev),
+                          /*verify=*/false)
           .completion_time);
 }
 

@@ -14,13 +14,37 @@ using namespace omr;
 int main() {
   const std::size_t n = bench::e2e_sample_elements();
   bench::banner("Table 1", "Workload characteristics (8 workers)");
+  const auto& workloads = ddl::benchmark_workloads();
+
+  // Fork one child stream per model up front (serially, so the streams do
+  // not depend on scheduling); each cell then samples its own gradients
+  // from a copy of that stream, keeping every job thread-isolated.
+  sim::Rng rng(1);
+  std::vector<sim::Rng> streams;
+  for (std::size_t m = 0; m < workloads.size(); ++m) {
+    streams.push_back(rng.fork());
+  }
+
+  bench::Sweep sweep;
+  std::vector<std::size_t> sparsity_cells;
+  std::vector<std::size_t> frac_cells;
+  for (std::size_t m = 0; m < workloads.size(); ++m) {
+    const auto& p = workloads[m];
+    sparsity_cells.push_back(sweep.add_value([&p, n, r = streams[m]]() mutable {
+      return ddl::sample_gradients(p, 8, n, r)[0].sparsity();
+    }));
+    frac_cells.push_back(sweep.add_value([&p, n, r = streams[m]]() mutable {
+      return ddl::comm_fraction(ddl::sample_gradients(p, 8, n, r), 256);
+    }));
+  }
+  sweep.run();
+
   bench::row({"model", "size[GB]", "sparsity", "comm[MB]", "comm[%]",
               "paper[%]"});
-  sim::Rng rng(1);
-  for (const auto& p : ddl::benchmark_workloads()) {
-    auto grads = ddl::sample_gradients(p, 8, n, rng);
-    const double sparsity = grads[0].sparsity();
-    const double frac = ddl::comm_fraction(grads, 256);
+  for (std::size_t m = 0; m < workloads.size(); ++m) {
+    const auto& p = workloads[m];
+    const double sparsity = sweep.value(sparsity_cells[m]);
+    const double frac = sweep.value(frac_cells[m]);
     const double comm_mb =
         frac * static_cast<double>(p.full_model_bytes) / 1e6;
     bench::row({p.name,

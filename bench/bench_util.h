@@ -1,12 +1,16 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "runner/sweep.h"
 #include "sim/time.h"
 #include "telemetry/report.h"
 
@@ -14,9 +18,18 @@ namespace omr::bench {
 
 /// Collects telemetry::RunReport objects and, when the OMR_REPORT_JSON
 /// environment variable names a path, writes them there as one
-/// `omnireduce.run_report_array.v1` JSON document on flush/destruction.
-/// With the variable unset the sink is disabled and add() is a no-op, so
-/// bench binaries can call it unconditionally.
+/// `omnireduce.run_report_array.v1` JSON document on flush. With the
+/// variable unset the sink is disabled and add() is a no-op, so bench
+/// binaries can call it unconditionally.
+///
+/// Thread-safe: add()/add_at() may be called from sweep tasks on pool
+/// threads. Each report carries a slot — explicit for add_at(), arrival
+/// order for add() — and flush() merges by slot, so the emitted array is
+/// identical for serial and parallel sweeps over the same grid.
+///
+/// Failure-safe: flush() returns false (and ok() turns false) when the
+/// file cannot be written. Bench mains should exit non-zero via
+/// bench::finish(sink) instead of relying on the destructor backstop.
 class ReportSink {
  public:
   ReportSink() {
@@ -28,26 +41,127 @@ class ReportSink {
   ReportSink& operator=(const ReportSink&) = delete;
 
   bool enabled() const { return !path_.empty(); }
+  bool ok() const { return !failed_; }
+
+  /// Append one report at the next auto slot (program order). Use either
+  /// add() or add_at() within one bench, not both interleaved.
   void add(telemetry::RunReport report) {
-    if (enabled()) reports_.push_back(std::move(report));
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    entries_.push_back({next_auto_slot_++, std::move(report)});
   }
-  void flush() {
-    if (!enabled() || reports_.empty()) return;
+
+  /// Merge a task's reports at an explicit slot (its sweep index). Reports
+  /// sharing a slot keep their given order; flush() orders slots.
+  void add_at(std::size_t slot, std::vector<telemetry::RunReport> reports) {
+    if (!enabled() || reports.empty()) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& r : reports) entries_.push_back({slot, std::move(r)});
+  }
+
+  /// Write the merged array. Returns false — and remembers the failure —
+  /// when the output file cannot be written.
+  bool flush() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!enabled() || entries_.empty()) return !failed_;
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.slot < b.slot;
+                     });
+    std::vector<telemetry::RunReport> reports;
+    reports.reserve(entries_.size());
+    for (auto& e : entries_) reports.push_back(std::move(e.report));
+    entries_.clear();
     std::ofstream out(path_);
     if (!out) {
       std::fprintf(stderr, "OMR_REPORT_JSON: cannot write %s\n",
                    path_.c_str());
-      return;
+      failed_ = true;
+      return false;
     }
-    telemetry::write_report_array(reports_, out);
-    std::fprintf(stderr, "wrote %zu run report(s) to %s\n", reports_.size(),
+    telemetry::write_report_array(reports, out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "OMR_REPORT_JSON: write to %s failed\n",
+                   path_.c_str());
+      failed_ = true;
+      return false;
+    }
+    std::fprintf(stderr, "wrote %zu run report(s) to %s\n", reports.size(),
                  path_.c_str());
-    reports_.clear();
+    return !failed_;
   }
 
  private:
+  struct Entry {
+    std::size_t slot;
+    telemetry::RunReport report;
+  };
+  std::mutex mu_;
   std::string path_;
-  std::vector<telemetry::RunReport> reports_;
+  std::vector<Entry> entries_;
+  std::size_t next_auto_slot_ = 0;
+  bool failed_ = false;
+};
+
+/// Flush the sink and turn a write failure into a non-zero exit code:
+///   int main() { ...; return bench::finish(sink); }
+inline int finish(ReportSink& sink) { return sink.flush() ? 0 : 1; }
+
+/// One grid cell's outcome: the scalar a table prints plus any RunReports
+/// destined for the ReportSink.
+struct CellResult {
+  double value = 0.0;
+  std::vector<telemetry::RunReport> reports;
+};
+
+/// Grid-sweep harness for the figure/table benches. A bench enqueues one
+/// job per grid cell up front, calls run() once, then formats its tables
+/// from value(). Jobs execute across OMR_JOBS threads (default: all
+/// cores; 1 = exact serial path) via runner::SweepRunner; results commit
+/// in submission order on the calling thread, so stdout tables and the
+/// report JSON are byte-identical to a serial run regardless of
+/// scheduling.
+///
+/// Jobs must be thread-isolated: build inputs from an explicit seed
+/// inside the job and construct a fresh Engine/Network per run (every
+/// core:: entry point already does).
+class Sweep {
+ public:
+  explicit Sweep(ReportSink* sink = nullptr) : sink_(sink) {}
+
+  using Job = std::function<CellResult()>;
+
+  /// Enqueue one cell; returns its handle for value() after run().
+  std::size_t add(Job job) {
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+  }
+  /// Enqueue a report-less cell computing just the scalar.
+  std::size_t add_value(std::function<double()> job) {
+    return add([job = std::move(job)] { return CellResult{job(), {}}; });
+  }
+
+  /// Execute every enqueued job. Reports land in the sink keyed by cell
+  /// index, so the merged JSON follows submission order.
+  void run() {
+    values_.assign(jobs_.size(), 0.0);
+    runner::parallel_for_each<CellResult>(
+        jobs_.size(),
+        [this](std::size_t i) { return jobs_[i](); },
+        [this](std::size_t i, CellResult&& r) {
+          values_[i] = r.value;
+          if (sink_ != nullptr) sink_->add_at(i, std::move(r.reports));
+        });
+    jobs_.clear();
+  }
+
+  double value(std::size_t cell) const { return values_.at(cell); }
+
+ private:
+  std::vector<Job> jobs_;
+  std::vector<double> values_;
+  ReportSink* sink_;
 };
 
 /// Tensor size for microbenchmarks, in elements. The paper uses 100 MB

@@ -38,10 +38,8 @@ int main() {
 
   // 3. Run. Results are verified against a serial reference reduction.
   auto omni_inputs = tensors;  // keep a copy for the baseline run
-  core::RunStats stats =
-      core::run_allreduce(omni_inputs, cfg, fabric,
-                          core::Deployment::kDedicated,
-                          /*n_aggregator_nodes=*/kWorkers, device);
+  core::RunStats stats = core::run_allreduce(
+      omni_inputs, cfg, core::ClusterSpec::dedicated(kWorkers, fabric, device));
 
   std::printf("OmniReduce:   %8.3f ms  (%.1f MB payload/worker, verified=%s)\n",
               stats.completion_ms(),

@@ -20,8 +20,8 @@ int main() {
   device.gdr = true;
 
   constexpr std::size_t kWorkers = 8;
-  core::Session session(cfg, fabric, core::Deployment::kDedicated, kWorkers,
-                        kWorkers, device);
+  core::Session session(cfg, kWorkers,
+                        core::ClusterSpec::dedicated(kWorkers, fabric, device));
 
   const ddl::WorkloadProfile& lstm = ddl::workload("LSTM");
   sim::Rng rng(1);

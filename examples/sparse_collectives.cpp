@@ -33,9 +33,8 @@ int main() {
     shards.push_back(std::move(s));
   }
   tensor::DenseTensor gathered;
-  core::RunStats ag = core::run_allgather(shards, gathered, cfg, fabric,
-                                          core::Deployment::kDedicated, 4,
-                                          dev);
+  const core::ClusterSpec cluster = core::ClusterSpec::dedicated(4, fabric, dev);
+  core::RunStats ag = core::run_allgather(shards, gathered, cfg, cluster);
   std::printf("AllGather : %zu elements in %.3f ms (verified=%s)\n",
               gathered.size(), ag.completion_ms(),
               ag.verified ? "yes" : "no");
@@ -45,9 +44,7 @@ int main() {
       tensor::make_block_sparse(1 << 20, 256, 0.95, rng);
   std::vector<tensor::DenseTensor> outs;
   core::RunStats bc = core::run_broadcast(delta, /*root=*/2, /*n_workers=*/4,
-                                          outs, cfg, fabric,
-                                          core::Deployment::kDedicated, 4,
-                                          dev);
+                                          outs, cfg, cluster);
   std::printf("Broadcast : 95%%-sparse tensor in %.3f ms "
               "(only the root's non-zero blocks travel)\n",
               bc.completion_ms());

@@ -19,9 +19,8 @@ inline core::RunStats switchml_allreduce(
   cfg.dense_mode = true;
   device::DeviceModel dev;
   dev.gdr = false;
-  return core::run_allreduce(tensors, cfg, fabric,
-                             core::Deployment::kDedicated,
-                             n_aggregator_nodes, dev);
+  return core::run_allreduce(
+      tensors, cfg, core::ClusterSpec::dedicated(n_aggregator_nodes, fabric, dev));
 }
 
 }  // namespace omr::baselines

@@ -6,9 +6,7 @@ namespace omr::core {
 
 RunStats run_allreduce_bucketed(
     std::vector<std::vector<tensor::DenseTensor>>& buckets, const Config& cfg,
-    const FabricConfig& fabric, Deployment deployment,
-    std::size_t n_aggregator_nodes, const device::DeviceModel& device,
-    bool verify) {
+    const ClusterSpec& cluster, bool verify) {
   if (buckets.empty()) throw std::invalid_argument("no workers");
   const std::size_t n_tensors = buckets.front().size();
   std::size_t total = 0;
@@ -38,8 +36,7 @@ RunStats run_allreduce_bucketed(
     flat.push_back(std::move(f));
   }
 
-  RunStats stats = run_allreduce(flat, cfg, fabric, deployment,
-                                 n_aggregator_nodes, device, verify);
+  RunStats stats = run_allreduce(flat, cfg, cluster, verify);
 
   // Scatter back.
   for (std::size_t w = 0; w < buckets.size(); ++w) {

@@ -18,8 +18,6 @@ namespace omr::core {
 /// per-index sizes. Reduced in place.
 RunStats run_allreduce_bucketed(
     std::vector<std::vector<tensor::DenseTensor>>& buckets, const Config& cfg,
-    const FabricConfig& fabric, Deployment deployment,
-    std::size_t n_aggregator_nodes, const device::DeviceModel& device,
-    bool verify = true);
+    const ClusterSpec& cluster, bool verify = true);
 
 }  // namespace omr::core

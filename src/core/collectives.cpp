@@ -22,39 +22,4 @@ RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
   return session.broadcast(root_data, root, outputs);
 }
 
-namespace {
-ClusterSpec make_cluster(const FabricConfig& fabric, Deployment deployment,
-                         std::size_t n_aggregator_nodes,
-                         const device::DeviceModel& device) {
-  ClusterSpec cluster;
-  cluster.fabric = fabric;
-  cluster.deployment = deployment;
-  cluster.n_aggregator_nodes = n_aggregator_nodes;
-  cluster.device = device;
-  return cluster;
-}
-}  // namespace
-
-RunStats run_allgather(std::vector<tensor::DenseTensor>& shards,
-                       tensor::DenseTensor& out, const Config& cfg,
-                       const FabricConfig& fabric, Deployment deployment,
-                       std::size_t n_aggregator_nodes,
-                       const device::DeviceModel& device) {
-  return run_allgather(
-      shards, out, cfg,
-      make_cluster(fabric, deployment, n_aggregator_nodes, device));
-}
-
-RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
-                       std::size_t n_workers,
-                       std::vector<tensor::DenseTensor>& outputs,
-                       const Config& cfg, const FabricConfig& fabric,
-                       Deployment deployment,
-                       std::size_t n_aggregator_nodes,
-                       const device::DeviceModel& device) {
-  return run_broadcast(
-      root_data, root, n_workers, outputs, cfg,
-      make_cluster(fabric, deployment, n_aggregator_nodes, device));
-}
-
 }  // namespace omr::core

@@ -33,19 +33,4 @@ RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
                        std::vector<tensor::DenseTensor>& outputs,
                        const Config& cfg, const ClusterSpec& cluster);
 
-/// \deprecated Pre-ClusterSpec 5-tuple signatures; forward to the
-/// (Config, ClusterSpec) entry points. Will be removed next PR.
-RunStats run_allgather(std::vector<tensor::DenseTensor>& shards,
-                       tensor::DenseTensor& out, const Config& cfg,
-                       const FabricConfig& fabric, Deployment deployment,
-                       std::size_t n_aggregator_nodes,
-                       const device::DeviceModel& device);
-RunStats run_broadcast(const tensor::DenseTensor& root_data, std::size_t root,
-                       std::size_t n_workers,
-                       std::vector<tensor::DenseTensor>& outputs,
-                       const Config& cfg, const FabricConfig& fabric,
-                       Deployment deployment,
-                       std::size_t n_aggregator_nodes,
-                       const device::DeviceModel& device);
-
 }  // namespace omr::core

@@ -274,19 +274,6 @@ telemetry::RunReport make_run_report(const std::string& label,
   return report;
 }
 
-RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
-                       const Config& cfg, const FabricConfig& fabric,
-                       Deployment deployment,
-                       std::size_t n_aggregator_nodes,
-                       const device::DeviceModel& device, bool verify) {
-  ClusterSpec cluster;
-  cluster.fabric = fabric;
-  cluster.deployment = deployment;
-  cluster.n_aggregator_nodes = n_aggregator_nodes;
-  cluster.device = device;
-  return run_allreduce(tensors, cfg, cluster, verify);
-}
-
 RunStats run_allreduce_simple(std::vector<tensor::DenseTensor>& tensors,
                               Transport transport, double bandwidth_bps,
                               bool gdr, double loss_rate,

@@ -74,15 +74,6 @@ telemetry::RunReport make_run_report(const std::string& label,
                                      std::size_t n_elements,
                                      const telemetry::Tracer* tracer);
 
-/// \deprecated Pre-ClusterSpec 5-tuple signature; forwards to the
-/// (Config, ClusterSpec) entry point. Will be removed next PR.
-RunStats run_allreduce(std::vector<tensor::DenseTensor>& tensors,
-                       const Config& cfg, const FabricConfig& fabric,
-                       Deployment deployment,
-                       std::size_t n_aggregator_nodes,
-                       const device::DeviceModel& device,
-                       bool verify = true);
-
 /// Convenience wrapper with paper-style knobs: picks Config from the
 /// transport, dedicated aggregators, and a device model with/without GDR.
 RunStats run_allreduce_simple(std::vector<tensor::DenseTensor>& tensors,

@@ -7,9 +7,8 @@ namespace omr::core {
 
 HierarchicalStats run_hierarchical_allreduce(
     std::vector<std::vector<tensor::DenseTensor>>& grads, const Config& cfg,
-    const FabricConfig& fabric, Deployment deployment,
-    std::size_t n_aggregator_nodes, const device::DeviceModel& device,
-    const HierarchicalConfig& hier, bool verify) {
+    const ClusterSpec& cluster, const HierarchicalConfig& hier,
+    bool verify) {
   if (grads.empty() || grads.front().empty()) {
     throw std::invalid_argument("need at least one server with one GPU");
   }
@@ -51,8 +50,7 @@ HierarchicalStats run_hierarchical_allreduce(
   stats.intra_broadcast = stats.intra_reduce;
 
   // Layer 2: inter-server OmniReduce over the fabric.
-  stats.inter = run_allreduce(server_sums, cfg, fabric, deployment,
-                              n_aggregator_nodes, device, /*verify=*/false);
+  stats.inter = run_allreduce(server_sums, cfg, cluster, /*verify=*/false);
 
   stats.total =
       stats.intra_reduce + stats.inter.completion_time + stats.intra_broadcast;

@@ -32,8 +32,7 @@ struct HierarchicalStats {
 /// intra-reduce + inter-server AllReduce + intra-broadcast.
 HierarchicalStats run_hierarchical_allreduce(
     std::vector<std::vector<tensor::DenseTensor>>& grads, const Config& cfg,
-    const FabricConfig& fabric, Deployment deployment,
-    std::size_t n_aggregator_nodes, const device::DeviceModel& device,
-    const HierarchicalConfig& hier = {}, bool verify = true);
+    const ClusterSpec& cluster, const HierarchicalConfig& hier = {},
+    bool verify = true);
 
 }  // namespace omr::core

@@ -67,19 +67,6 @@ Session::Session(const Config& cfg, std::size_t n_workers,
   rebuild_endpoints();
 }
 
-Session::Session(const Config& cfg, const FabricConfig& fabric,
-                 Deployment deployment, std::size_t n_workers,
-                 std::size_t n_aggregator_nodes,
-                 const device::DeviceModel& device)
-    : Session(cfg, n_workers, [&] {
-        ClusterSpec cluster;
-        cluster.fabric = fabric;
-        cluster.deployment = deployment;
-        cluster.n_aggregator_nodes = n_aggregator_nodes;
-        cluster.device = device;
-        return cluster;
-      }()) {}
-
 Session::~Session() = default;
 
 void Session::rebuild_endpoints() {

@@ -32,11 +32,6 @@ class Session {
  public:
   Session(const Config& cfg, std::size_t n_workers,
           const ClusterSpec& cluster);
-  /// \deprecated Pre-ClusterSpec 5-tuple signature; forwards to the
-  /// (Config, n_workers, ClusterSpec) constructor. Will be removed next PR.
-  Session(const Config& cfg, const FabricConfig& fabric,
-          Deployment deployment, std::size_t n_workers,
-          std::size_t n_aggregator_nodes, const device::DeviceModel& device);
   ~Session();
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;

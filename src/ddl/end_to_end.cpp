@@ -53,8 +53,9 @@ double measure_comm_s(std::vector<tensor::DenseTensor>& grads,
       device::DeviceModel dev;
       dev.gdr = method == CommMethod::kOmniReduceGdr;
       return sim::to_seconds(
-          core::run_allreduce(grads, ec, fabric, core::Deployment::kDedicated,
-                              grads.size(), dev, /*verify=*/false)
+          core::run_allreduce(
+              grads, ec, core::ClusterSpec::dedicated(grads.size(), fabric, dev),
+              /*verify=*/false)
               .completion_time);
     }
     case CommMethod::kSwitchMlServer: {
@@ -66,8 +67,9 @@ double measure_comm_s(std::vector<tensor::DenseTensor>& grads,
       ec.dense_mode = true;
       device::DeviceModel dev;  // RDMA without GDR
       return sim::to_seconds(
-          core::run_allreduce(grads, ec, fabric, core::Deployment::kDedicated,
-                              grads.size(), dev, /*verify=*/false)
+          core::run_allreduce(
+              grads, ec, core::ClusterSpec::dedicated(grads.size(), fabric, dev),
+              /*verify=*/false)
               .completion_time);
     }
     case CommMethod::kAgSparseCompressed: {

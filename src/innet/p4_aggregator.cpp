@@ -26,9 +26,9 @@ core::RunStats run_allreduce_innet(std::vector<tensor::DenseTensor>& tensors,
   device::DeviceModel dev;
   dev.gdr = false;
 
-  return core::run_allreduce(tensors, engine_cfg, fabric,
-                             core::Deployment::kDedicated,
-                             /*n_aggregator_nodes=*/1, dev);
+  return core::run_allreduce(
+      tensors, engine_cfg,
+      core::ClusterSpec::dedicated(/*n_aggregators=*/1, fabric, dev));
 }
 
 }  // namespace omr::innet

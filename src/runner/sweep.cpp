@@ -1,0 +1,27 @@
+#include "runner/sweep.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace omr::runner {
+
+std::size_t default_jobs() {
+  const char* env = std::getenv("OMR_JOBS");
+  if (env != nullptr) {
+    const long v = std::atol(env);
+    return v < 1 ? 1 : static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+SweepRunner::SweepRunner(std::size_t jobs)
+    : jobs_(jobs == 0 ? default_jobs() : jobs) {}
+
+SweepRunner::~SweepRunner() = default;
+
+void SweepRunner::ensure_pool() {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+}  // namespace omr::runner

@@ -1,0 +1,99 @@
+#include "runner/thread_pool.h"
+
+#include <utility>
+
+namespace omr::runner {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) n_threads = 1;
+  queues_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_all();
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    ++pending_;
+    Queue& q = *queues_[next_queue_];
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    // Push while holding state_mu_: a worker only blocks after scanning
+    // all queues under state_mu_, so no enqueue can slip between its scan
+    // and its wait (no lost wakeups, no timed polling needed).
+    std::lock_guard<std::mutex> qlk(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_all() {
+  std::unique_lock<std::mutex> lk(state_mu_);
+  idle_cv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own queue first (back = most recently pushed, cache-warm), then steal
+  // round-robin from the front of the others (oldest first).
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::any_queued() {
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lk(q->mu);
+    if (!q->tasks.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      task();
+      task = nullptr;  // release captures before signalling completion
+      std::lock_guard<std::mutex> lk(state_mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(state_mu_);
+    if (stopping_) return;
+    if (any_queued()) continue;  // raced with a steal; rescan unlocked
+    work_cv_.wait(lk);
+    if (stopping_) return;
+  }
+}
+
+}  // namespace omr::runner

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omr::runner {
+
+/// Fixed-size work-stealing thread pool for coarse-grained tasks (whole
+/// simulation runs, milliseconds to seconds each). Each worker owns a
+/// deque: it pops from the back of its own (LIFO, cache-warm) and steals
+/// from the front of a victim's (FIFO, oldest first). Queues are guarded
+/// by per-queue mutexes — with task granularity this coarse, lock traffic
+/// is noise, and plain mutexes keep the pool trivially provable under
+/// ThreadSanitizer.
+///
+/// Tasks must not throw: callers that need exception propagation wrap the
+/// body and capture a std::exception_ptr (parallel_for_each does this).
+/// The destructor waits for every submitted task to finish before joining.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Round-robins across worker queues; safe to call
+  /// from any thread, including pool workers.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted so far has finished executing.
+  void wait_all();
+
+  std::size_t n_threads() const { return workers_.size(); }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::function<void()>& out);
+  bool any_queued();
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Wakeup + completion accounting. `pending_` counts submitted-but-not-
+  // finished tasks; wait_all sleeps on `idle_cv_` until it reaches zero.
+  std::mutex state_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;
+  std::size_t next_queue_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace omr::runner

@@ -43,6 +43,10 @@ device::DeviceModel gdr_device() {
   return d;
 }
 
+ClusterSpec test_cluster(std::size_t n_aggregators, double loss = 0.0) {
+  return ClusterSpec::dedicated(n_aggregators, test_fabric(loss), gdr_device());
+}
+
 std::vector<DenseTensor> random_inputs(std::size_t n_workers, std::size_t n,
                                        std::size_t bs, double sparsity,
                                        std::uint64_t seed,
@@ -79,8 +83,7 @@ TEST(StreamLayout, MoreStreamsThanBlocks) {
 
 TEST(Engine, TwoWorkersSparseCorrect) {
   auto inputs = random_inputs(2, 16 * 64, 16, 0.8, 1);
-  RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, small_config(), test_cluster(2));
   EXPECT_TRUE(st.verified);
   EXPECT_GT(st.completion_time, 0);
 }
@@ -88,8 +91,7 @@ TEST(Engine, TwoWorkersSparseCorrect) {
 TEST(Engine, EightWorkersVariousSparsity) {
   for (double s : {0.0, 0.5, 0.9, 0.99}) {
     auto inputs = random_inputs(8, 16 * 128, 16, s, 11);
-    RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                                Deployment::kDedicated, 4, gdr_device());
+    RunStats st = run_allreduce(inputs, small_config(), test_cluster(4));
     EXPECT_TRUE(st.verified) << "sparsity " << s;
   }
 }
@@ -97,16 +99,14 @@ TEST(Engine, EightWorkersVariousSparsity) {
 TEST(Engine, SingleWorker) {
   auto inputs = random_inputs(1, 16 * 32, 16, 0.5, 2);
   DenseTensor original = inputs[0];
-  RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                              Deployment::kDedicated, 1, gdr_device());
+  RunStats st = run_allreduce(inputs, small_config(), test_cluster(1));
   EXPECT_TRUE(st.verified);
   EXPECT_EQ(tensor::max_abs_diff(inputs[0], original), 0.0);
 }
 
 TEST(Engine, AllZeroTensors) {
   std::vector<DenseTensor> inputs(4, DenseTensor(16 * 64));
-  RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, small_config(), test_cluster(2));
   EXPECT_TRUE(st.verified);
   for (const auto& t : inputs) EXPECT_EQ(t.nnz(), 0u);
   // Only the unconditional first-round blocks travel.
@@ -117,16 +117,14 @@ TEST(Engine, OneWorkerDenseOthersZero) {
   sim::Rng rng(3);
   std::vector<DenseTensor> inputs(4, DenseTensor(16 * 64));
   inputs[2] = tensor::make_block_sparse(16 * 64, 16, 0.0, rng);
-  RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, small_config(), test_cluster(2));
   EXPECT_TRUE(st.verified);
 }
 
 TEST(Engine, DisjointAndIdenticalOverlap) {
   for (OverlapMode mode : {OverlapMode::kNone, OverlapMode::kAll}) {
     auto inputs = random_inputs(4, 16 * 256, 16, 0.9, 5, mode);
-    RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                                Deployment::kDedicated, 2, gdr_device());
+    RunStats st = run_allreduce(inputs, small_config(), test_cluster(2));
     EXPECT_TRUE(st.verified);
   }
 }
@@ -140,8 +138,7 @@ TEST(Engine, PartialLastBlock) {
     for (std::size_t i = 0; i < t.size(); i += 3) t[i] = rng.next_float(-1, 1);
     inputs.push_back(std::move(t));
   }
-  RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, small_config(), test_cluster(2));
   EXPECT_TRUE(st.verified);
 }
 
@@ -152,8 +149,7 @@ TEST(Engine, TensorSmallerThanOneBlock) {
     t[static_cast<std::size_t>(w)] = 1.0f;
     inputs.push_back(std::move(t));
   }
-  RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                              Deployment::kDedicated, 1, gdr_device());
+  RunStats st = run_allreduce(inputs, small_config(), test_cluster(1));
   EXPECT_TRUE(st.verified);
 }
 
@@ -161,8 +157,7 @@ TEST(Engine, FusionWidthOne) {
   Config cfg = small_config();
   cfg.packet_elements = 16;  // w = 1: the paper's basic Algorithm 1
   auto inputs = random_inputs(4, 16 * 128, 16, 0.7, 8);
-  RunStats st = run_allreduce(inputs, cfg, test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, cfg, test_cluster(2));
   EXPECT_TRUE(st.verified);
 }
 
@@ -170,8 +165,7 @@ TEST(Engine, WideFusion) {
   Config cfg = small_config();
   cfg.packet_elements = 256;  // w = 16
   auto inputs = random_inputs(4, 16 * 512, 16, 0.95, 9);
-  RunStats st = run_allreduce(inputs, cfg, test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, cfg, test_cluster(2));
   EXPECT_TRUE(st.verified);
 }
 
@@ -182,10 +176,8 @@ TEST(Engine, DenseModeSendsEverything) {
   Config dense_cfg = cfg;
   dense_cfg.dense_mode = true;
   auto inputs2 = inputs;
-  RunStats sparse = run_allreduce(inputs, cfg, test_fabric(),
-                                  Deployment::kDedicated, 2, gdr_device());
-  RunStats dense = run_allreduce(inputs2, dense_cfg, test_fabric(),
-                                 Deployment::kDedicated, 2, gdr_device());
+  RunStats sparse = run_allreduce(inputs, cfg, test_cluster(2));
+  RunStats dense = run_allreduce(inputs2, dense_cfg, test_cluster(2));
   EXPECT_TRUE(dense.verified);
   // Dense mode transmits the full tensor per worker.
   EXPECT_EQ(dense.worker_data_bytes[0], n * 4);
@@ -201,8 +193,7 @@ TEST(Engine, SparsitySkipsBytes) {
     tensor::BlockBitmap bm(t.span(), 16);
     expected.push_back(bm.nonzero_count() * 16 * 4);
   }
-  RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, small_config(), test_cluster(2));
   // The metadata bootstrap carries no payload, so each worker transmits
   // exactly its non-zero blocks.
   for (std::size_t w = 0; w < inputs.size(); ++w) {
@@ -214,8 +205,7 @@ TEST(Engine, HigherSparsityIsFaster) {
   sim::Time prev = sim::kTimeInfinity;
   for (double s : {0.0, 0.6, 0.9, 0.99}) {
     auto inputs = random_inputs(8, 16 * 4096, 16, s, 13);
-    RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                                Deployment::kDedicated, 8, gdr_device());
+    RunStats st = run_allreduce(inputs, small_config(), test_cluster(8));
     EXPECT_LT(st.completion_time, prev) << "sparsity " << s;
     prev = st.completion_time;
   }
@@ -230,10 +220,10 @@ TEST(Engine, ColocatedCorrectAndSlowerOnDense) {
   fabric.one_way_latency = sim::microseconds(1);
   auto inputs = random_inputs(4, 16 * 8192, 16, 0.0, 14);
   auto inputs2 = inputs;
-  RunStats ded = run_allreduce(inputs, cfg, fabric,
-                               Deployment::kDedicated, 4, gdr_device());
-  RunStats col = run_allreduce(inputs2, cfg, fabric,
-                               Deployment::kColocated, 0, gdr_device());
+  RunStats ded = run_allreduce(inputs, cfg,
+                               ClusterSpec::dedicated(4, fabric, gdr_device()));
+  RunStats col = run_allreduce(inputs2, cfg,
+                               ClusterSpec::colocated(fabric, gdr_device()));
   EXPECT_TRUE(col.verified);
   // Colocation halves effective bandwidth on dense data (§3.4).
   EXPECT_GT(col.completion_time, ded.completion_time);
@@ -242,8 +232,7 @@ TEST(Engine, ColocatedCorrectAndSlowerOnDense) {
 TEST(Engine, MoreAggregatorNodesNoCorrectnessChange) {
   for (std::size_t aggs : {1u, 2u, 3u, 8u}) {
     auto inputs = random_inputs(4, 16 * 512, 16, 0.8, 15);
-    RunStats st = run_allreduce(inputs, small_config(), test_fabric(),
-                                Deployment::kDedicated, aggs, gdr_device());
+    RunStats st = run_allreduce(inputs, small_config(), test_cluster(aggs));
     EXPECT_TRUE(st.verified) << aggs << " aggregators";
   }
 }
@@ -251,10 +240,8 @@ TEST(Engine, MoreAggregatorNodesNoCorrectnessChange) {
 TEST(Engine, DeterministicAcrossRuns) {
   auto a = random_inputs(4, 16 * 512, 16, 0.8, 16);
   auto b = a;
-  RunStats sa = run_allreduce(a, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
-  RunStats sb = run_allreduce(b, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats sa = run_allreduce(a, small_config(), test_cluster(2));
+  RunStats sb = run_allreduce(b, small_config(), test_cluster(2));
   EXPECT_EQ(sa.completion_time, sb.completion_time);
   EXPECT_EQ(sa.total_messages, sb.total_messages);
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
@@ -278,8 +265,7 @@ TEST(Engine, AnnouncementAccountingPerStream) {
   Config cfg = small_config();
   auto inputs = random_inputs(3, 16 * 64, 16, 0.5, 41);
   const StreamLayout layout = StreamLayout::build(16 * 64, cfg);
-  RunStats st = run_allreduce(inputs, cfg, test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, cfg, test_cluster(2));
   EXPECT_TRUE(st.verified);
   EXPECT_EQ(st.acks, 0u);
   // total_messages counts worker TX: announcements + data packets.
@@ -296,8 +282,7 @@ TEST(LossRecovery, CorrectUnderLoss) {
     Config cfg = small_config();
     cfg.loss_recovery = true;
     cfg.retransmit_timeout = sim::microseconds(200);
-    RunStats st = run_allreduce(inputs, cfg, test_fabric(loss),
-                                Deployment::kDedicated, 2, gdr_device());
+    RunStats st = run_allreduce(inputs, cfg, test_cluster(2, loss));
     EXPECT_TRUE(st.verified) << "loss " << loss;
     EXPECT_GT(st.dropped_messages, 0u);
     EXPECT_GT(st.retransmissions, 0u);
@@ -309,8 +294,7 @@ TEST(LossRecovery, ZeroLossNoRetransmissions) {
   Config cfg = small_config();
   cfg.loss_recovery = true;
   cfg.retransmit_timeout = sim::milliseconds(10);
-  RunStats st = run_allreduce(inputs, cfg, test_fabric(0.0),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, cfg, test_cluster(2, 0.0));
   EXPECT_TRUE(st.verified);
   EXPECT_EQ(st.retransmissions, 0u);
 }
@@ -319,11 +303,9 @@ TEST(LossRecovery, MatchesAlg1Result) {
   auto inputs = random_inputs(4, 16 * 256, 16, 0.7, 19);
   auto inputs2 = inputs;
   Config cfg = small_config();
-  RunStats a1 = run_allreduce(inputs, cfg, test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats a1 = run_allreduce(inputs, cfg, test_cluster(2));
   cfg.loss_recovery = true;
-  RunStats a2 = run_allreduce(inputs2, cfg, test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats a2 = run_allreduce(inputs2, cfg, test_cluster(2));
   EXPECT_TRUE(a1.verified && a2.verified);
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     EXPECT_LE(tensor::max_abs_diff(inputs[i], inputs2[i]), 1e-4);
@@ -335,8 +317,7 @@ TEST(LossRecovery, SevereLossStillCompletes) {
   Config cfg = small_config();
   cfg.loss_recovery = true;
   cfg.retransmit_timeout = sim::microseconds(100);
-  RunStats st = run_allreduce(inputs, cfg, test_fabric(0.2),
-                              Deployment::kDedicated, 1, gdr_device());
+  RunStats st = run_allreduce(inputs, cfg, test_cluster(1, 0.2));
   EXPECT_TRUE(st.verified);
 }
 
@@ -357,8 +338,7 @@ TEST(Collectives, AllGatherConcatenates) {
     shards.push_back(std::move(s));
   }
   DenseTensor out;
-  RunStats st = run_allgather(shards, out, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allgather(shards, out, small_config(), test_cluster(2));
   EXPECT_TRUE(st.verified);
   EXPECT_EQ(out, DenseTensor(expect));
 }
@@ -367,8 +347,7 @@ TEST(Collectives, BroadcastDistributesRootData) {
   sim::Rng rng(22);
   DenseTensor root = tensor::make_block_sparse(16 * 64, 16, 0.5, rng);
   std::vector<DenseTensor> outs;
-  RunStats st = run_broadcast(root, 1, 4, outs, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_broadcast(root, 1, 4, outs, small_config(), test_cluster(2));
   EXPECT_TRUE(st.verified);
   ASSERT_EQ(outs.size(), 4u);
   for (const auto& t : outs) EXPECT_EQ(t, root);
@@ -378,8 +357,7 @@ TEST(Collectives, BroadcastSkipsZeroBlocks) {
   sim::Rng rng(23);
   DenseTensor root = tensor::make_block_sparse(16 * 256, 16, 0.9, rng);
   std::vector<DenseTensor> outs;
-  RunStats st = run_broadcast(root, 0, 4, outs, small_config(), test_fabric(),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_broadcast(root, 0, 4, outs, small_config(), test_cluster(2));
   // Only the root transmits payload beyond the first-round blocks.
   EXPECT_GT(st.worker_data_bytes[0], st.worker_data_bytes[1]);
 }
@@ -444,8 +422,7 @@ TEST_P(EngineSweep, ReducesCorrectly) {
   auto inputs = random_inputs(static_cast<std::size_t>(workers), 16 * 200, 16,
                               sparsity, 31);
   RunStats st =
-      run_allreduce(inputs, cfg, test_fabric(), Deployment::kDedicated,
-                    static_cast<std::size_t>(aggs), gdr_device());
+      run_allreduce(inputs, cfg, test_cluster(static_cast<std::size_t>(aggs)));
   EXPECT_TRUE(st.verified);
 }
 
@@ -465,8 +442,7 @@ TEST_P(LossSweep, RecoversCorrectly) {
   cfg.retransmit_timeout = sim::microseconds(150);
   auto inputs = random_inputs(static_cast<std::size_t>(workers), 16 * 128, 16,
                               0.7, 37);
-  RunStats st = run_allreduce(inputs, cfg, test_fabric(loss),
-                              Deployment::kDedicated, 2, gdr_device());
+  RunStats st = run_allreduce(inputs, cfg, test_cluster(2, loss));
   EXPECT_TRUE(st.verified);
 }
 

@@ -55,8 +55,7 @@ TEST(ReduceOps, MinOverContributedBlocks) {
   for (int i = 16; i < 32; ++i) ts[0][static_cast<size_t>(i)] = -5.0f;
   Config cfg = small_config();
   cfg.op = ReduceOp::kMin;
-  RunStats st = run_allreduce(ts, cfg, fabric(), Deployment::kDedicated, 1,
-                              gdr());
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(1, fabric(), gdr()));
   EXPECT_TRUE(st.verified);
   // Block 0: element-wise min of the two workers.
   EXPECT_FLOAT_EQ(ts[1][0], 1.0f);
@@ -70,8 +69,7 @@ TEST(ReduceOps, MaxRandomized) {
   auto ts = inputs(5, 16 * 64, 0.7, 3);
   Config cfg = small_config();
   cfg.op = ReduceOp::kMax;
-  RunStats st = run_allreduce(ts, cfg, fabric(), Deployment::kDedicated, 2,
-                              gdr());
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(2, fabric(), gdr()));
   EXPECT_TRUE(st.verified);
 }
 
@@ -83,7 +81,7 @@ TEST(ReduceOps, MinUnderLossRecovery) {
   cfg.retransmit_timeout = sim::microseconds(200);
   FabricConfig f = fabric();
   f.loss_rate = 0.02;
-  RunStats st = run_allreduce(ts, cfg, f, Deployment::kDedicated, 2, gdr());
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(2, f, gdr()));
   EXPECT_TRUE(st.verified);
 }
 
@@ -94,8 +92,7 @@ TEST(ReduceOps, MaxDenseModeIncludesZeros) {
   Config cfg = small_config();
   cfg.op = ReduceOp::kMax;
   cfg.dense_mode = true;
-  RunStats st = run_allreduce(ts, cfg, fabric(), Deployment::kDedicated, 1,
-                              gdr());
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(1, fabric(), gdr()));
   EXPECT_TRUE(st.verified);
   EXPECT_FLOAT_EQ(ts[0][3], 0.0f);
 }
@@ -105,8 +102,7 @@ TEST(ReduceOps, FixedPointRejectsMinMax) {
   Config cfg = small_config();
   cfg.op = ReduceOp::kMin;
   cfg.fixed_point = true;
-  EXPECT_THROW(run_allreduce(ts, cfg, fabric(), Deployment::kDedicated, 1,
-                             gdr()),
+  EXPECT_THROW(run_allreduce(ts, cfg, ClusterSpec::dedicated(1, fabric(), gdr())),
                std::invalid_argument);
 }
 
@@ -135,8 +131,7 @@ TEST(Deterministic, BitIdenticalAcrossArrivalOrders) {
     f.worker_bandwidth_bps = bw;
     // Stagger workers by attaching different aggregator counts per run is
     // not needed: bandwidth change alone reorders arrivals.
-    RunStats st = run_allreduce(ts, cfg, f, Deployment::kDedicated, 3, gdr(),
-                                /*verify=*/false);
+    RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(3, f, gdr()), /*verify=*/false);
     (void)st;
     results.push_back(ts[0]);
   }
@@ -150,8 +145,7 @@ TEST(Deterministic, MatchesWidOrderedReference) {
   // Reference folded in worker order (the order the engine guarantees).
   DenseTensor ref(ts[0].size());
   for (const auto& t : ts) ref.add_inplace(t);
-  RunStats st = run_allreduce(ts, cfg, fabric(), Deployment::kDedicated, 2,
-                              gdr(), /*verify=*/false);
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(2, fabric(), gdr()), /*verify=*/false);
   (void)st;
   // In-order fold of <= 4 floats equals the reference fold exactly only if
   // the engine used the same order; allow zero tolerance.
@@ -166,7 +160,7 @@ TEST(Deterministic, WorksUnderLoss) {
   FabricConfig f = fabric();
   f.loss_rate = 0.05;
   auto ts = inputs(4, 16 * 64, 0.5, 8);
-  RunStats st = run_allreduce(ts, cfg, f, Deployment::kDedicated, 2, gdr());
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(2, f, gdr()));
   EXPECT_TRUE(st.verified);
 }
 
@@ -192,8 +186,7 @@ TEST(Bucketing, ReducesEveryTensor) {
       worker.push_back(std::move(t));
     }
   }
-  RunStats st = run_allreduce_bucketed(buckets, small_config(), fabric(),
-                                       Deployment::kDedicated, 2, gdr());
+  RunStats st = run_allreduce_bucketed(buckets, small_config(), ClusterSpec::dedicated(2, fabric(), gdr()));
   EXPECT_TRUE(st.verified);
   for (const auto& worker : buckets) {
     for (std::size_t i = 0; i < shapes.size(); ++i) {
@@ -206,12 +199,10 @@ TEST(Bucketing, RejectsMismatchedLayouts) {
   std::vector<std::vector<DenseTensor>> buckets(2);
   buckets[0].emplace_back(10);
   buckets[1].emplace_back(11);
-  EXPECT_THROW(run_allreduce_bucketed(buckets, small_config(), fabric(),
-                                      Deployment::kDedicated, 1, gdr()),
+  EXPECT_THROW(run_allreduce_bucketed(buckets, small_config(), ClusterSpec::dedicated(1, fabric(), gdr())),
                std::invalid_argument);
   buckets[1] = {DenseTensor(10), DenseTensor(3)};
-  EXPECT_THROW(run_allreduce_bucketed(buckets, small_config(), fabric(),
-                                      Deployment::kDedicated, 1, gdr()),
+  EXPECT_THROW(run_allreduce_bucketed(buckets, small_config(), ClusterSpec::dedicated(1, fabric(), gdr())),
                std::invalid_argument);
 }
 
@@ -219,10 +210,8 @@ TEST(Bucketing, SingleBucketMatchesPlainAllReduce) {
   auto flat = inputs(3, 16 * 32, 0.5, 10);
   std::vector<std::vector<DenseTensor>> buckets(3);
   for (std::size_t w = 0; w < 3; ++w) buckets[w].push_back(flat[w]);
-  RunStats a = run_allreduce(flat, small_config(), fabric(),
-                             Deployment::kDedicated, 1, gdr());
-  RunStats b = run_allreduce_bucketed(buckets, small_config(), fabric(),
-                                      Deployment::kDedicated, 1, gdr());
+  RunStats a = run_allreduce(flat, small_config(), ClusterSpec::dedicated(1, fabric(), gdr()));
+  RunStats b = run_allreduce_bucketed(buckets, small_config(), ClusterSpec::dedicated(1, fabric(), gdr()));
   EXPECT_EQ(a.completion_time, b.completion_time);
   EXPECT_EQ(buckets[0][0], flat[0]);
 }
@@ -237,8 +226,7 @@ TEST(Stragglers, CorrectWithSkewedStarts) {
   FabricConfig f = fabric();
   f.worker_start_offsets = {0, sim::microseconds(500), 0,
                             sim::milliseconds(2)};
-  RunStats st = run_allreduce(ts, small_config(), f, Deployment::kDedicated,
-                              2, gdr());
+  RunStats st = run_allreduce(ts, small_config(), ClusterSpec::dedicated(2, f, gdr()));
   EXPECT_TRUE(st.verified);
   // Completion is gated by the last worker.
   EXPECT_GE(st.completion_time, sim::milliseconds(2));
@@ -248,8 +236,7 @@ TEST(Stragglers, OffsetCountMismatchThrows) {
   auto ts = inputs(3, 16 * 16, 0.5, 12);
   FabricConfig f = fabric();
   f.worker_start_offsets = {0, 0};
-  EXPECT_THROW(run_allreduce(ts, small_config(), f, Deployment::kDedicated,
-                             1, gdr()),
+  EXPECT_THROW(run_allreduce(ts, small_config(), ClusterSpec::dedicated(1, f, gdr())),
                std::invalid_argument);
 }
 
@@ -257,11 +244,9 @@ TEST(Stragglers, DelayIsAdditiveNotAmplified) {
   auto base_in = inputs(4, 16 * 512, 0.5, 13);
   auto skew_in = base_in;
   FabricConfig f = fabric();
-  RunStats base = run_allreduce(base_in, small_config(), f,
-                                Deployment::kDedicated, 2, gdr());
+  RunStats base = run_allreduce(base_in, small_config(), ClusterSpec::dedicated(2, f, gdr()));
   f.worker_start_offsets = {0, 0, sim::milliseconds(1), 0};
-  RunStats skew = run_allreduce(skew_in, small_config(), f,
-                                Deployment::kDedicated, 2, gdr());
+  RunStats skew = run_allreduce(skew_in, small_config(), ClusterSpec::dedicated(2, f, gdr()));
   const sim::Time extra = skew.completion_time - base.completion_time;
   EXPECT_GE(extra, sim::microseconds(900));
   EXPECT_LE(extra, sim::microseconds(1100));
@@ -279,11 +264,9 @@ TEST(WireFormat, HalfPrecisionHalvesTransmissionTime) {
   auto fp16_in = fp32_in;
   FabricConfig f = fabric();
   f.one_way_latency = sim::microseconds(1);
-  RunStats fp32 = run_allreduce(fp32_in, cfg, f, Deployment::kDedicated, 4,
-                                gdr());
+  RunStats fp32 = run_allreduce(fp32_in, cfg, ClusterSpec::dedicated(4, f, gdr()));
   cfg.value_bytes = 2;
-  RunStats fp16 = run_allreduce(fp16_in, cfg, f, Deployment::kDedicated, 4,
-                                gdr());
+  RunStats fp16 = run_allreduce(fp16_in, cfg, ClusterSpec::dedicated(4, f, gdr()));
   EXPECT_TRUE(fp16.verified);
   const double ratio = static_cast<double>(fp32.completion_time) /
                        static_cast<double>(fp16.completion_time);
@@ -313,7 +296,7 @@ TEST(DeviceStaging, NonGdrCompletionHasPcieFloor) {
   FabricConfig f = fabric();
   f.worker_bandwidth_bps = 100e9;
   f.aggregator_bandwidth_bps = 100e9;
-  RunStats st = run_allreduce(ts, cfg, f, Deployment::kDedicated, 4, dev);
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(4, f, dev));
   EXPECT_TRUE(st.verified);
   const sim::Time floor = dev.full_copy_cost(n * 4);
   EXPECT_GE(st.completion_time, floor);
@@ -322,7 +305,7 @@ TEST(DeviceStaging, NonGdrCompletionHasPcieFloor) {
                                        tensor::OverlapMode::kRandom, rng);
   device::DeviceModel g;
   g.gdr = true;
-  RunStats st2 = run_allreduce(ts2, cfg, f, Deployment::kDedicated, 4, g);
+  RunStats st2 = run_allreduce(ts2, cfg, ClusterSpec::dedicated(4, f, g));
   EXPECT_LT(st2.completion_time, floor);
 }
 
@@ -340,7 +323,7 @@ TEST(DeviceStaging, ChunkPrefetchDelaysLateBlocks) {
   FabricConfig f = fabric();
   f.worker_bandwidth_bps = 100e9;
   f.aggregator_bandwidth_bps = 100e9;
-  RunStats st = run_allreduce(ts, cfg, f, Deployment::kDedicated, 1, dev);
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(1, f, dev));
   EXPECT_TRUE(st.verified);
   EXPECT_GE(st.completion_time, dev.chunk_ready(n * 4 - 1));
 }

@@ -44,7 +44,7 @@ TEST(Hierarchical, ReducesAcrossServersAndGpus) {
   device::DeviceModel dev;
   dev.gdr = true;
   HierarchicalStats st = run_hierarchical_allreduce(
-      grads, cfg(), fabric(), Deployment::kDedicated, 3, dev);
+      grads, cfg(), ClusterSpec::dedicated(3, fabric(), dev));
   EXPECT_TRUE(st.verified);
   EXPECT_GT(st.total, st.inter.completion_time);
   EXPECT_GT(st.intra_reduce, 0);
@@ -55,7 +55,7 @@ TEST(Hierarchical, SingleGpuServersSkipIntraPhase) {
   device::DeviceModel dev;
   dev.gdr = true;
   HierarchicalStats st = run_hierarchical_allreduce(
-      grads, cfg(), fabric(), Deployment::kDedicated, 4, dev);
+      grads, cfg(), ClusterSpec::dedicated(4, fabric(), dev));
   EXPECT_TRUE(st.verified);
   EXPECT_EQ(st.intra_reduce, 0);
   EXPECT_EQ(st.total, st.inter.completion_time);
@@ -69,7 +69,7 @@ TEST(Hierarchical, UnionSparsityDensifiesInterLayer) {
   dev.gdr = true;
   auto copy = grads;
   HierarchicalStats st = run_hierarchical_allreduce(
-      copy, cfg(), fabric(), Deployment::kDedicated, 2, dev);
+      copy, cfg(), ClusterSpec::dedicated(2, fabric(), dev));
   EXPECT_TRUE(st.verified);
   // Mean per-server transmitted volume exceeds a single GPU's non-zero
   // volume (union effect).
@@ -86,8 +86,7 @@ TEST(Hierarchical, MismatchedSizesThrow) {
   grads[0].push_back(DenseTensor(64));
   grads[1].push_back(DenseTensor(32));
   device::DeviceModel dev;
-  EXPECT_THROW(run_hierarchical_allreduce(grads, cfg(), fabric(),
-                                          Deployment::kDedicated, 2, dev),
+  EXPECT_THROW(run_hierarchical_allreduce(grads, cfg(), ClusterSpec::dedicated(2, fabric(), dev)),
                std::invalid_argument);
 }
 

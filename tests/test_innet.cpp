@@ -51,7 +51,7 @@ TEST(P4Aggregator, FasterThanServerAggregator) {
   fabric.one_way_latency = p4.one_way_latency;
   device::DeviceModel dev;
   core::RunStats server = core::run_allreduce(
-      b, ec, fabric, core::Deployment::kDedicated, 1, dev);
+      b, ec, core::ClusterSpec::dedicated(1, fabric, dev));
   EXPECT_LT(sw.completion_time, server.completion_time);
 }
 
@@ -79,9 +79,8 @@ TEST(P4Aggregator, SaturationClampsExtremes) {
   core::FabricConfig fabric;
   fabric.aggregator_bandwidth_bps = 40e9;
   device::DeviceModel dev;
-  core::RunStats st = core::run_allreduce(ts, ec, fabric,
-                                          core::Deployment::kDedicated, 1,
-                                          dev, /*verify=*/false);
+  core::RunStats st = core::run_allreduce(
+      ts, ec, core::ClusterSpec::dedicated(1, fabric, dev), /*verify=*/false);
   // True sum is 12000 > int32 max / 2^20 = 2048: expect the clamp.
   EXPECT_NEAR(ts[0][0], 2147483647.0 / cfg.fixed_point_scale, 1.0);
   (void)st;

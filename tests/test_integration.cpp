@@ -60,8 +60,7 @@ TEST(CrossAlgorithm, AllImplementationsAgree) {
 
   {
     auto ts = base;
-    core::run_allreduce(ts, engine_cfg(), engine_fabric(),
-                        core::Deployment::kDedicated, 2, gdr());
+    core::run_allreduce(ts, engine_cfg(), core::ClusterSpec::dedicated(2, engine_fabric(), gdr()));
     check(ts[0], "omnireduce");
   }
   {
@@ -112,9 +111,7 @@ TEST(WorkloadIntegration, ProfileGradientsThroughEngine) {
     auto grads = ddl::sample_gradients(ddl::workload(name), 4, 1 << 16, rng);
     core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
     cfg.charge_bitmap_cost = false;
-    core::RunStats st = core::run_allreduce(grads, cfg, engine_fabric(),
-                                            core::Deployment::kDedicated, 4,
-                                            gdr());
+    core::RunStats st = core::run_allreduce(grads, cfg, core::ClusterSpec::dedicated(4, engine_fabric(), gdr()));
     EXPECT_TRUE(st.verified) << name;
   }
 }
@@ -129,9 +126,7 @@ TEST(ModelValidation, SimulationWithinModelEnvelope) {
   core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
   cfg.charge_bitmap_cost = false;
   core::FabricConfig f = engine_fabric();
-  core::RunStats st = core::run_allreduce(ts, cfg, f,
-                                          core::Deployment::kDedicated, 8,
-                                          gdr(), /*verify=*/false);
+  core::RunStats st = core::run_allreduce(ts, cfg, core::ClusterSpec::dedicated(8, f, gdr()), /*verify=*/false);
   perfmodel::ModelParams p;
   p.n_workers = 8;
   p.bandwidth_bps = f.worker_bandwidth_bps;
@@ -186,9 +181,10 @@ TEST_P(ConfigFuzz, RandomConfigStaysCorrect) {
   f.loss_rate = cfg.loss_recovery ? rng.next_double() * 0.05 : 0.0;
   f.seed = rng.next_u64();
   const std::size_t aggs = 1 + rng.next_below(4);
-  const auto dep = rng.next_bool(0.3) ? core::Deployment::kColocated
-                                      : core::Deployment::kDedicated;
-  core::RunStats st = core::run_allreduce(ts, cfg, f, dep, aggs, gdr());
+  const core::ClusterSpec cluster =
+      rng.next_bool(0.3) ? core::ClusterSpec::colocated(f, gdr())
+                         : core::ClusterSpec::dedicated(aggs, f, gdr());
+  core::RunStats st = core::run_allreduce(ts, cfg, cluster);
   EXPECT_TRUE(st.verified);
 }
 
@@ -214,9 +210,7 @@ TEST_P(LossTorture, SurvivesAndStaysCorrect) {
   core::FabricConfig f = engine_fabric();
   f.loss_rate = loss;
   f.seed = static_cast<std::uint64_t>(seed) + 1;
-  core::RunStats st = core::run_allreduce(ts, cfg, f,
-                                          core::Deployment::kDedicated, 1,
-                                          gdr());
+  core::RunStats st = core::run_allreduce(ts, cfg, core::ClusterSpec::dedicated(1, f, gdr()));
   EXPECT_TRUE(st.verified);
   if (loss >= 0.2) {
     EXPECT_GT(st.retransmissions, 0u);
@@ -237,9 +231,7 @@ TEST(Accounting, WireBytesConsistent) {
   net::Network network(simulator, sim::microseconds(5), 1);
   // Use the engine through its public API; validate via RunStats totals.
   core::Config cfg = engine_cfg();
-  core::RunStats st = core::run_allreduce(ts, cfg, engine_fabric(),
-                                          core::Deployment::kDedicated, 2,
-                                          gdr());
+  core::RunStats st = core::run_allreduce(ts, cfg, core::ClusterSpec::dedicated(2, engine_fabric(), gdr()));
   EXPECT_GT(st.total_messages, 0u);
   EXPECT_EQ(st.dropped_messages, 0u);
 }

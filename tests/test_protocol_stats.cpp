@@ -41,8 +41,7 @@ TEST(ProtocolStats, Alg1SendsNoAcks) {
   sim::Rng rng(1);
   auto ts = tensor::make_multi_worker(4, 16 * 64, 16, 0.8,
                                       tensor::OverlapMode::kRandom, rng);
-  RunStats st = run_allreduce(ts, cfg16(), fab(), Deployment::kDedicated, 2,
-                              gdr());
+  RunStats st = run_allreduce(ts, cfg16(), ClusterSpec::dedicated(2, fab(), gdr()));
   EXPECT_EQ(st.acks, 0u);
   EXPECT_EQ(st.duplicate_resends, 0u);
 }
@@ -55,8 +54,7 @@ TEST(ProtocolStats, Alg2AcksForUnownedBlocks) {
                                       tensor::OverlapMode::kNone, rng);
   Config cfg = cfg16();
   cfg.loss_recovery = true;
-  RunStats st = run_allreduce(ts, cfg, fab(), Deployment::kDedicated, 2,
-                              gdr());
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(2, fab(), gdr()));
   EXPECT_GT(st.acks, 0u);
 }
 
@@ -67,8 +65,7 @@ TEST(ProtocolStats, DuplicateResendsAppearUnderLoss) {
   Config cfg = cfg16();
   cfg.loss_recovery = true;
   cfg.retransmit_timeout = sim::microseconds(150);
-  RunStats st = run_allreduce(ts, cfg, fab(0.08), Deployment::kDedicated, 2,
-                              gdr());
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(2, fab(0.08), gdr()));
   EXPECT_TRUE(st.verified);
   EXPECT_GT(st.retransmissions, 0u);
   // With 8% loss some result packets are lost, so duplicate-triggered
@@ -88,8 +85,7 @@ TEST(ProtocolStats, RoundsTrackUnionDensity) {
   const auto union_blocks = static_cast<std::uint64_t>(
       union_density * static_cast<double>(tensor::num_blocks(n, 16)) + 0.5);
   Config cfg = cfg16();
-  RunStats st = run_allreduce(ts, cfg, fab(), Deployment::kDedicated, 1,
-                              gdr());
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(1, fab(), gdr()));
   const StreamLayout layout = StreamLayout::build(n, cfg);
   EXPECT_EQ(st.rounds, union_blocks + layout.streams.size());
 }
@@ -100,8 +96,7 @@ TEST(ProtocolStats, DenseRoundsEqualBlocksPlusBootstrap) {
   auto ts = tensor::make_multi_worker(2, n, 16, 0.0,
                                       tensor::OverlapMode::kRandom, rng);
   Config cfg = cfg16();
-  RunStats st = run_allreduce(ts, cfg, fab(), Deployment::kDedicated, 1,
-                              gdr());
+  RunStats st = run_allreduce(ts, cfg, ClusterSpec::dedicated(1, fab(), gdr()));
   const StreamLayout layout = StreamLayout::build(n, cfg);
   EXPECT_EQ(st.rounds, 128u + layout.streams.size());
 }
@@ -111,8 +106,7 @@ TEST(ProtocolStats, MessagesScaleWithWorkers) {
     sim::Rng rng(6);
     auto ts = tensor::make_multi_worker(workers, 16 * 64, 16, 0.5,
                                         tensor::OverlapMode::kAll, rng);
-    RunStats st = run_allreduce(ts, cfg16(), fab(), Deployment::kDedicated,
-                                1, gdr());
+    RunStats st = run_allreduce(ts, cfg16(), ClusterSpec::dedicated(1, fab(), gdr()));
     // Worker TX messages only (stats count worker NICs).
     EXPECT_GT(st.total_messages, 0u);
   }

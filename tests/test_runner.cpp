@@ -1,0 +1,260 @@
+// Tests for the parallel sweep runner: pool lifecycle, ordered commits
+// under adversarial scheduling, exception propagation, and the headline
+// guarantee — a parallel sweep's RunReport array is bit-identical to the
+// serial one for a Fig. 4-shaped grid.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
+#include "sim/rng.h"
+#include "telemetry/report.h"
+#include "tensor/generators.h"
+
+namespace omr::runner {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_all();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, WaitAllIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_all();
+    EXPECT_EQ(count.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No wait_all: shutdown itself must finish the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, WaitAllWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_all();
+  pool.wait_all();
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for_each ordering
+// ---------------------------------------------------------------------------
+
+TEST(ParallelForEach, CommitsInSubmissionOrderUnderRandomizedScheduling) {
+  // Tasks finish in a scrambled order (each sleeps a pseudo-random time);
+  // commits must still arrive 0, 1, 2, ... on the calling thread.
+  const std::size_t n = 64;
+  sim::Rng rng(11);
+  std::vector<int> delays_us;
+  for (std::size_t i = 0; i < n; ++i) {
+    delays_us.push_back(static_cast<int>(rng.next_below(500)));
+  }
+  std::vector<std::size_t> commit_order;
+  const std::thread::id caller = std::this_thread::get_id();
+  parallel_for_each<std::size_t>(
+      n,
+      [&delays_us](std::size_t i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delays_us[i]));
+        return i * i;
+      },
+      [&](std::size_t i, std::size_t&& v) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(v, i * i);
+        commit_order.push_back(i);
+      },
+      /*jobs=*/4);
+  ASSERT_EQ(commit_order.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(commit_order[i], i);
+}
+
+TEST(ParallelForEach, SerialPathMatchesParallelResults) {
+  const std::size_t n = 40;
+  auto task = [](std::size_t i) { return static_cast<double>(i) * 1.5; };
+  std::vector<double> serial, parallel;
+  parallel_for_each<double>(
+      n, task, [&](std::size_t, double&& v) { serial.push_back(v); },
+      /*jobs=*/1);
+  parallel_for_each<double>(
+      n, task, [&](std::size_t, double&& v) { parallel.push_back(v); },
+      /*jobs=*/8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForEach, ZeroTasksIsANoOp) {
+  int commits = 0;
+  parallel_for_each<int>(
+      0, [](std::size_t) { return 0; },
+      [&](std::size_t, int&&) { ++commits; }, /*jobs=*/4);
+  EXPECT_EQ(commits, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Exception propagation
+// ---------------------------------------------------------------------------
+
+TEST(ParallelForEach, PropagatesTaskExceptionToCaller) {
+  EXPECT_THROW(
+      parallel_for_each<int>(
+          16,
+          [](std::size_t i) {
+            if (i == 5) throw std::runtime_error("task 5 failed");
+            return static_cast<int>(i);
+          },
+          [](std::size_t, int&&) {}, /*jobs=*/4),
+      std::runtime_error);
+}
+
+TEST(ParallelForEach, LowestIndexExceptionWinsAndCommitsStopBeforeIt) {
+  // Indices 3 and 9 both throw; the rethrown error must be index 3's (the
+  // serial program would have hit it first) and no commit at or past 3
+  // may have run.
+  std::vector<std::size_t> committed;
+  try {
+    parallel_for_each<int>(
+        16,
+        [](std::size_t i) {
+          if (i == 3) throw std::runtime_error("boom-3");
+          if (i == 9) throw std::runtime_error("boom-9");
+          return static_cast<int>(i);
+        },
+        [&](std::size_t i, int&&) { committed.push_back(i); },
+        /*jobs=*/8);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom-3");
+  }
+  EXPECT_EQ(committed, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParallelForEach, SerialPathPropagatesExceptions) {
+  EXPECT_THROW(parallel_for_each<int>(
+                   4,
+                   [](std::size_t i) -> int {
+                     if (i == 2) throw std::logic_error("serial");
+                     return 0;
+                   },
+                   [](std::size_t, int&&) {}, /*jobs=*/1),
+               std::logic_error);
+}
+
+TEST(SweepRunner, IsReusableAfterAnException) {
+  SweepRunner runner(4);
+  EXPECT_THROW(runner.for_each<int>(
+                   8,
+                   [](std::size_t i) -> int {
+                     if (i == 1) throw std::runtime_error("first sweep");
+                     return 0;
+                   },
+                   [](std::size_t, int&&) {}),
+               std::runtime_error);
+  int commits = 0;
+  runner.for_each<int>(
+      8, [](std::size_t i) { return static_cast<int>(i); },
+      [&](std::size_t i, int&& v) {
+        EXPECT_EQ(v, static_cast<int>(i));
+        ++commits;
+      });
+  EXPECT_EQ(commits, 8);
+}
+
+// ---------------------------------------------------------------------------
+// default_jobs
+// ---------------------------------------------------------------------------
+
+TEST(DefaultJobs, IsAtLeastOne) { EXPECT_GE(default_jobs(), 1u); }
+
+// ---------------------------------------------------------------------------
+// Bit-identical reports: a Fig. 4-shaped grid, serial vs parallel
+// ---------------------------------------------------------------------------
+
+telemetry::RunReport grid_cell(std::size_t workers, double sparsity,
+                               std::uint64_t seed) {
+  sim::Rng rng(seed);
+  auto tensors = tensor::make_multi_worker(workers, 16 * 256, 16, sparsity,
+                                           tensor::OverlapMode::kRandom, rng);
+  core::Config cfg;
+  cfg.block_size = 16;
+  cfg.packet_elements = 64;
+  cfg.num_streams = 8;
+  core::ClusterSpec cluster = core::ClusterSpec::dedicated(2);
+  cluster.fabric.seed = seed;
+  cluster.telemetry.enabled = true;
+  cluster.telemetry.trace_events = false;
+  char label[48];
+  std::snprintf(label, sizeof(label), "grid/w%zu/s%.2f", workers, sparsity);
+  return core::run_allreduce_report(tensors, cfg, cluster, /*verify=*/true,
+                                    label);
+}
+
+TEST(ParallelForEach, Fig04ShapedGridIsBitIdenticalToSerial) {
+  struct Cell {
+    std::size_t workers;
+    double sparsity;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> grid;
+  for (std::size_t workers : {2u, 4u}) {
+    std::uint64_t seed = 2;
+    for (double s : {0.0, 0.6, 0.9, 0.99}) {
+      grid.push_back({workers, s, seed++});
+    }
+  }
+
+  auto run_grid = [&grid](std::size_t jobs) {
+    std::vector<telemetry::RunReport> reports;
+    parallel_for_each<telemetry::RunReport>(
+        grid.size(),
+        [&grid](std::size_t i) {
+          const Cell& c = grid[i];
+          return grid_cell(c.workers, c.sparsity, c.seed);
+        },
+        [&reports](std::size_t, telemetry::RunReport&& r) {
+          reports.push_back(std::move(r));
+        },
+        jobs);
+    std::ostringstream json;
+    telemetry::write_report_array(reports, json);
+    return json.str();
+  };
+
+  const std::string serial = run_grid(1);
+  const std::string parallel = run_grid(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace omr::runner

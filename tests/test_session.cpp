@@ -33,7 +33,7 @@ device::DeviceModel gdr() {
 }
 
 TEST(Session, BackToBackCollectivesStayCorrect) {
-  Session session(cfg16(), fab(), Deployment::kDedicated, 4, 2, gdr());
+  Session session(cfg16(), 4, ClusterSpec::dedicated(2, fab(), gdr()));
   sim::Rng rng(1);
   for (int iter = 0; iter < 10; ++iter) {
     auto ts = tensor::make_multi_worker(4, 16 * 64, 16, 0.7,
@@ -45,7 +45,7 @@ TEST(Session, BackToBackCollectivesStayCorrect) {
 }
 
 TEST(Session, VirtualTimeAdvancesMonotonically) {
-  Session session(cfg16(), fab(), Deployment::kDedicated, 2, 1, gdr());
+  Session session(cfg16(), 2, ClusterSpec::dedicated(1, fab(), gdr()));
   sim::Rng rng(2);
   sim::Time prev = 0;
   for (int iter = 0; iter < 3; ++iter) {
@@ -58,7 +58,7 @@ TEST(Session, VirtualTimeAdvancesMonotonically) {
 }
 
 TEST(Session, PerCallStatsAreDeltas) {
-  Session session(cfg16(), fab(), Deployment::kDedicated, 3, 1, gdr());
+  Session session(cfg16(), 3, ClusterSpec::dedicated(1, fab(), gdr()));
   sim::Rng rng(3);
   auto a = tensor::make_multi_worker(3, 16 * 64, 16, 0.5,
                                      tensor::OverlapMode::kRandom, rng);
@@ -72,7 +72,7 @@ TEST(Session, PerCallStatsAreDeltas) {
 }
 
 TEST(Session, VaryingTensorSizes) {
-  Session session(cfg16(), fab(), Deployment::kDedicated, 4, 2, gdr());
+  Session session(cfg16(), 4, ClusterSpec::dedicated(2, fab(), gdr()));
   sim::Rng rng(4);
   for (std::size_t n : {16u * 8u, 16u * 200u, 5u, 16u * 64u}) {
     auto ts = tensor::make_multi_worker(4, n, 16, 0.5,
@@ -85,7 +85,7 @@ TEST(Session, VaryingTensorSizes) {
 TEST(Session, SurvivesLossAcrossIterations) {
   Config cfg = cfg16();
   cfg.retransmit_timeout = sim::microseconds(150);
-  Session session(cfg, fab(0.03), Deployment::kDedicated, 3, 2, gdr());
+  Session session(cfg, 3, ClusterSpec::dedicated(2, fab(0.03), gdr()));
   sim::Rng rng(5);
   std::uint64_t retx = 0;
   for (int iter = 0; iter < 8; ++iter) {
@@ -99,7 +99,7 @@ TEST(Session, SurvivesLossAcrossIterations) {
 }
 
 TEST(Session, ColocatedDeployment) {
-  Session session(cfg16(), fab(), Deployment::kColocated, 4, 0, gdr());
+  Session session(cfg16(), 4, ClusterSpec::colocated(fab(), gdr()));
   sim::Rng rng(6);
   auto ts = tensor::make_multi_worker(4, 16 * 64, 16, 0.5,
                                       tensor::OverlapMode::kRandom, rng);
@@ -112,7 +112,7 @@ TEST(Session, DeterministicReductionAcrossIterations) {
   cfg.deterministic_reduction = true;
   std::vector<DenseTensor> first_results;
   for (int run = 0; run < 2; ++run) {
-    Session session(cfg, fab(), Deployment::kDedicated, 3, 2, gdr());
+    Session session(cfg, 3, ClusterSpec::dedicated(2, fab(), gdr()));
     sim::Rng rng(42);
     DenseTensor last;
     for (int iter = 0; iter < 4; ++iter) {
@@ -127,7 +127,7 @@ TEST(Session, DeterministicReductionAcrossIterations) {
 }
 
 TEST(Session, RejectsBadInput) {
-  Session session(cfg16(), fab(), Deployment::kDedicated, 2, 1, gdr());
+  Session session(cfg16(), 2, ClusterSpec::dedicated(1, fab(), gdr()));
   std::vector<DenseTensor> wrong_count(3, DenseTensor(32));
   EXPECT_THROW(session.allreduce(wrong_count), std::invalid_argument);
   std::vector<DenseTensor> mismatched{DenseTensor(32), DenseTensor(16)};
