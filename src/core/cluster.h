@@ -6,6 +6,7 @@
 
 #include "core/config.h"
 #include "device/device_model.h"
+#include "net/topology.h"
 #include "sim/time.h"
 #include "telemetry/telemetry.h"
 
@@ -17,6 +18,11 @@ struct FabricConfig {
   double aggregator_bandwidth_bps = 10e9;
   sim::Time one_way_latency = sim::microseconds(10);
   double loss_rate = 0.0;
+  /// Fabric-level Gilbert-Elliott burst loss (active when
+  /// burst_loss.enabled()); replaces the Bernoulli `loss_rate` draw with a
+  /// two-state Markov chain, so drops arrive in bursts. Like loss_rate,
+  /// it forces Algorithm 2 loss recovery on.
+  net::GilbertElliottConfig burst_loss;
   std::uint64_t seed = 1;
   /// Per-worker start offsets (compute skew / stragglers). Empty = all
   /// workers enter the collective at t=0. Since every aggregation round
@@ -31,6 +37,52 @@ struct FabricConfig {
   double aggregator_rx_overhead_ns = 0.0;
   /// Same for the worker receive path.
   double worker_rx_overhead_ns = 0.0;
+
+  /// True when any loss process (Bernoulli or burst) is active — the
+  /// engine then forces Algorithm 2 recovery on.
+  bool lossy() const { return loss_rate > 0.0 || burst_loss.enabled(); }
+};
+
+/// Fabric shape and placement: which topology joins the NICs and where
+/// each machine sits. The default (kIdealSwitch) reproduces the flat
+/// non-blocking switch bit-identically; kTwoTier places NICs in racks
+/// under ToR switches joined by an oversubscribable spine.
+struct TopologySpec {
+  enum class Kind { kIdealSwitch, kTwoTier };
+  Kind kind = Kind::kIdealSwitch;
+
+  /// Number of racks (kTwoTier only).
+  std::size_t n_racks = 2;
+  /// Spine oversubscription ratio (>= 1): each rack's uplink capacity is
+  /// the sum of its NIC speeds divided by this. 1.0 = full bisection.
+  double oversubscription = 1.0;
+  /// Per-hop propagation latency; 0 derives fabric.one_way_latency / 2 so
+  /// intra-rack paths cross the fabric in exactly one_way_latency.
+  sim::Time hop_latency = 0;
+  /// Explicit per-rack uplink capacity override in bps (0 = derived).
+  double uplink_bandwidth_bps = 0.0;
+  /// Rack of each worker (empty = contiguous fill: rack w*n_racks/n).
+  std::vector<int> worker_racks;
+  /// Rack of each dedicated aggregator node (empty = round-robin).
+  std::vector<int> aggregator_racks;
+  /// Per-spine-link loss: Bernoulli rate and/or Gilbert-Elliott bursts
+  /// (burst wins when enabled). Applied independently per uplink/downlink.
+  double spine_loss_rate = 0.0;
+  net::GilbertElliottConfig spine_burst_loss;
+
+  bool two_tier() const { return kind == Kind::kTwoTier; }
+  bool spine_lossy() const {
+    return spine_loss_rate > 0.0 || spine_burst_loss.enabled();
+  }
+
+  static TopologySpec two_tier_racks(std::size_t racks,
+                                     double oversubscription_ratio = 1.0) {
+    TopologySpec t;
+    t.kind = Kind::kTwoTier;
+    t.n_racks = racks;
+    t.oversubscription = oversubscription_ratio;
+    return t;
+  }
 };
 
 /// Everything that describes *where* a collective runs, as one value: the
@@ -41,6 +93,7 @@ struct FabricConfig {
 /// *algorithm*, not the cluster.
 struct ClusterSpec {
   FabricConfig fabric;
+  TopologySpec topology;
   Deployment deployment = Deployment::kDedicated;
   /// Ignored under Deployment::kColocated (one shard per worker NIC).
   std::size_t n_aggregator_nodes = 1;

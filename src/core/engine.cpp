@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/fabric.h"
 #include "core/stream_layout.h"
 #include "net/network.h"
 #include "tensor/blocks.h"
@@ -76,11 +77,17 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
   if (verify) reference = reference_reduce(tensors, cfg);
 
   Config run_cfg = cfg;
-  if (fabric.loss_rate > 0.0) run_cfg.loss_recovery = true;
+  if (fabric.lossy() || cluster.topology.spine_lossy()) {
+    run_cfg.loss_recovery = true;
+  }
 
+  const std::size_t n_dedicated =
+      cluster.deployment == Deployment::kColocated ? 0 : n_aggregator_nodes;
   sim::Simulator simulator;
-  net::Network network(simulator, fabric.one_way_latency, fabric.seed);
-  network.set_loss_rate(fabric.loss_rate);
+  net::Network network(simulator,
+                       make_topology(cluster, n_workers, n_dedicated),
+                       fabric.seed);
+  apply_fabric_loss(network, fabric);
   network.set_tracer(tracer);
 
   const StreamLayout layout = StreamLayout::build(n, run_cfg);
@@ -186,6 +193,7 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
     stats.total_messages += network.nic_stats(nic).tx_messages;
   }
   stats.dropped_messages = network.total_dropped();
+  stats.links = collect_link_reports(network);
 
   if (tracer != nullptr) {
     tracer->collective_span(0, stats.completion_time, 0);
@@ -254,6 +262,7 @@ telemetry::RunReport make_run_report(const std::string& label,
   report.duplicate_resends = stats.duplicate_resends;
   report.verified = stats.verified;
   report.max_error = stats.max_error;
+  report.links = stats.links;
   report.n_workers = n_workers;
   report.n_aggregators = cluster.deployment == Deployment::kColocated
                              ? n_workers

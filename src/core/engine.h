@@ -27,6 +27,9 @@ struct RunStats {
   std::uint64_t duplicate_resends = 0;  // aggregator result retransmissions
   bool verified = false;
   double max_error = 0.0;
+  /// Per-fabric-link counters (empty on the default ideal switch). For a
+  /// Session these are per-collective deltas.
+  std::vector<telemetry::LinkReport> links;
 
   double completion_ms() const { return sim::to_milliseconds(completion_time); }
   /// Mean per-worker transmitted payload (Table 1's "OmniReduce comm.").

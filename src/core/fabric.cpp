@@ -1,0 +1,93 @@
+#include "core/fabric.h"
+
+#include <stdexcept>
+
+namespace omr::core {
+
+int worker_rack(const TopologySpec& topo, std::size_t w,
+                std::size_t n_workers) {
+  if (w < topo.worker_racks.size()) return topo.worker_racks[w];
+  if (n_workers == 0) return 0;
+  // Contiguous fill: servers of one rack are physical neighbours, which is
+  // what rack-aware hierarchical aggregation exploits.
+  return static_cast<int>(w * topo.n_racks / n_workers);
+}
+
+int aggregator_rack(const TopologySpec& topo, std::size_t a) {
+  if (a < topo.aggregator_racks.size()) return topo.aggregator_racks[a];
+  return static_cast<int>(a % topo.n_racks);
+}
+
+std::vector<int> resolve_nic_racks(const TopologySpec& topo,
+                                   std::size_t n_workers,
+                                   std::size_t n_dedicated_aggs) {
+  std::vector<int> racks;
+  racks.reserve(n_workers + n_dedicated_aggs);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    racks.push_back(worker_rack(topo, w, n_workers));
+  }
+  for (std::size_t a = 0; a < n_dedicated_aggs; ++a) {
+    racks.push_back(aggregator_rack(topo, a));
+  }
+  return racks;
+}
+
+std::unique_ptr<net::Topology> make_topology(const ClusterSpec& cluster,
+                                             std::size_t n_workers,
+                                             std::size_t n_dedicated_aggs) {
+  const TopologySpec& topo = cluster.topology;
+  if (!topo.two_tier()) {
+    return std::make_unique<net::IdealSwitch>(
+        cluster.fabric.one_way_latency);
+  }
+  if (!topo.worker_racks.empty() && topo.worker_racks.size() != n_workers) {
+    throw std::invalid_argument("worker rack count != worker count");
+  }
+  net::TwoTierFabric::Config cfg;
+  cfg.n_racks = topo.n_racks;
+  cfg.oversubscription = topo.oversubscription;
+  cfg.hop_latency = topo.hop_latency > 0
+                        ? topo.hop_latency
+                        : cluster.fabric.one_way_latency / 2;
+  cfg.uplink_bandwidth_bps = topo.uplink_bandwidth_bps;
+  cfg.rack_of_nic = resolve_nic_racks(topo, n_workers, n_dedicated_aggs);
+  if (topo.spine_burst_loss.enabled()) {
+    cfg.spine_loss = net::LossProcess::gilbert_elliott(topo.spine_burst_loss);
+  } else if (topo.spine_loss_rate > 0.0) {
+    cfg.spine_loss = net::LossProcess::bernoulli(topo.spine_loss_rate);
+  }
+  return std::make_unique<net::TwoTierFabric>(std::move(cfg));
+}
+
+void apply_fabric_loss(net::Network& network, const FabricConfig& fabric) {
+  network.set_loss_rate(fabric.loss_rate);
+  if (fabric.burst_loss.enabled()) {
+    network.set_loss_model(
+        net::LossProcess::gilbert_elliott(fabric.burst_loss));
+  }
+}
+
+std::vector<telemetry::LinkReport> collect_link_reports(
+    const net::Network& network,
+    const std::vector<telemetry::LinkReport>* base) {
+  const net::Topology& topo = network.topology();
+  std::vector<telemetry::LinkReport> out;
+  out.reserve(topo.num_links());
+  for (std::size_t l = 0; l < topo.num_links(); ++l) {
+    const net::LinkStats& s = topo.link_stats(static_cast<net::LinkId>(l));
+    telemetry::LinkReport r;
+    r.name = topo.link_name(static_cast<net::LinkId>(l));
+    r.tx_bytes = s.tx_bytes;
+    r.tx_messages = s.tx_messages;
+    r.dropped_messages = s.dropped_messages;
+    if (base != nullptr && l < base->size()) {
+      r.tx_bytes -= (*base)[l].tx_bytes;
+      r.tx_messages -= (*base)[l].tx_messages;
+      r.dropped_messages -= (*base)[l].dropped_messages;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace omr::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "telemetry/report.h"
+
+namespace omr::core {
+
+/// Rack of worker `w` under `topo` (explicit assignment, or the default
+/// contiguous fill: workers split into n_racks equal runs).
+int worker_rack(const TopologySpec& topo, std::size_t w,
+                std::size_t n_workers);
+
+/// Rack of dedicated aggregator node `a` (explicit, or round-robin).
+int aggregator_rack(const TopologySpec& topo, std::size_t a);
+
+/// Rack of every NIC in engine add order: the n_workers worker NICs first,
+/// then the dedicated aggregator NICs (colocated deployments add none).
+std::vector<int> resolve_nic_racks(const TopologySpec& topo,
+                                   std::size_t n_workers,
+                                   std::size_t n_dedicated_aggs);
+
+/// Build the net::Topology a ClusterSpec describes. The default spec
+/// returns an IdealSwitch at fabric.one_way_latency — the seed fabric,
+/// bit-identical runs.
+std::unique_ptr<net::Topology> make_topology(const ClusterSpec& cluster,
+                                             std::size_t n_workers,
+                                             std::size_t n_dedicated_aggs);
+
+/// Apply the fabric-level loss processes (legacy Bernoulli rate, optional
+/// Gilbert-Elliott bursts) to a freshly built network.
+void apply_fabric_loss(net::Network& network, const FabricConfig& fabric);
+
+/// Snapshot per-link counters into LinkReport rows (one per topology
+/// link); empty for the ideal switch. `base` subtracts a previous
+/// snapshot, yielding per-collective deltas for Session reports.
+std::vector<telemetry::LinkReport> collect_link_reports(
+    const net::Network& network,
+    const std::vector<telemetry::LinkReport>* base = nullptr);
+
+}  // namespace omr::core

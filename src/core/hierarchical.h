@@ -13,15 +13,26 @@ namespace omr::core {
 /// NVLink. Note the first layer densifies: a block is non-zero for the
 /// server if any of its GPUs has it non-zero, so inter-server sparsity is
 /// the union sparsity.
+///
+/// On a two-tier fabric the optional rack-aware mode inserts a third
+/// layer: servers of one rack reduce over their ToR-local links first, a
+/// single representative per rack exchanges over the spine, and results
+/// are distributed back down — cutting spine traffic by the rack size, the
+/// placement NetReduce-style rack-scale aggregation exploits.
 struct HierarchicalConfig {
   /// Effective per-GPU NVLink bandwidth for the local ring (bytes/s).
   double nvlink_bandwidth_Bps = 130e9;
+  /// Enable the rack layer. Requires cluster.topology.two_tier() with
+  /// more than one rack; otherwise ignored (flat inter-server phase).
+  bool rack_aware = false;
 };
 
 struct HierarchicalStats {
-  RunStats inter;               // the inter-server OmniReduce run
+  RunStats inter;               // inter-server (or inter-rack) OmniReduce run
   sim::Time intra_reduce = 0;   // local NVLink reduce (ring reduce-scatter+gather)
   sim::Time intra_broadcast = 0;
+  sim::Time rack_reduce = 0;    // intra-rack reduce over ToR-local links
+  sim::Time rack_broadcast = 0; // result distribution back down the racks
   sim::Time total = 0;
   bool verified = false;
   double max_error = 0.0;
@@ -29,7 +40,8 @@ struct HierarchicalStats {
 
 /// `grads[server][gpu]` are the per-GPU gradients (all equal size). On
 /// return every entry holds the global sum. The completion time is
-/// intra-reduce + inter-server AllReduce + intra-broadcast.
+/// intra-reduce [+ rack-reduce] + inter AllReduce [+ rack-broadcast]
+/// + intra-broadcast.
 HierarchicalStats run_hierarchical_allreduce(
     std::vector<std::vector<tensor::DenseTensor>>& grads, const Config& cfg,
     const ClusterSpec& cluster, const HierarchicalConfig& hier = {},

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/fabric.h"
 #include "core/stream_layout.h"
 #include "tensor/blocks.h"
 
@@ -27,13 +28,19 @@ Session::Session(const Config& cfg, std::size_t n_workers,
       fabric.worker_start_offsets.size() != n_workers_) {
     throw std::invalid_argument("start-offset count != worker count");
   }
-  if (fabric.loss_rate > 0.0) cfg_.loss_recovery = true;
+  if (fabric.lossy() || spec_.topology.spine_lossy()) {
+    cfg_.loss_recovery = true;
+  }
 
   simulator_ = std::make_unique<sim::Simulator>();
-  network_ = std::make_unique<net::Network>(*simulator_,
-                                            fabric.one_way_latency,
-                                            fabric.seed);
-  network_->set_loss_rate(fabric.loss_rate);
+  network_ = std::make_unique<net::Network>(
+      *simulator_,
+      make_topology(spec_, n_workers_,
+                    spec_.deployment == Deployment::kColocated
+                        ? 0
+                        : n_aggregators_),
+      fabric.seed);
+  apply_fabric_loss(*network_, fabric);
   if (spec_.telemetry.enabled) {
     tracer_ = std::make_unique<telemetry::Tracer>(spec_.telemetry);
     network_->set_tracer(tracer_.get());
@@ -117,6 +124,8 @@ RunStats Session::run_collective(std::vector<tensor::DenseTensor>& tensors,
     nic_before.push_back(network_->nic_stats(nic));
   }
   const std::uint64_t dropped_before = network_->total_dropped();
+  const std::vector<telemetry::LinkReport> links_before =
+      collect_link_reports(*network_);
 
   const StreamLayout layout = StreamLayout::build(n, cfg_);
   std::vector<net::EndpointId> agg_of_stream(layout.streams.size());
@@ -165,6 +174,7 @@ RunStats Session::run_collective(std::vector<tensor::DenseTensor>& tensors,
                             nic_before[w].tx_messages;
   }
   stats.dropped_messages = network_->total_dropped() - dropped_before;
+  stats.links = collect_link_reports(*network_, &links_before);
   if (tracer_ != nullptr) {
     tracer_->collective_span(t0, simulator_->now(), collectives_run_ - 1);
   }

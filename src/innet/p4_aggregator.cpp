@@ -26,9 +26,16 @@ core::RunStats run_allreduce_innet(std::vector<tensor::DenseTensor>& tensors,
   device::DeviceModel dev;
   dev.gdr = false;
 
-  return core::run_allreduce(
-      tensors, engine_cfg,
-      core::ClusterSpec::dedicated(/*n_aggregators=*/1, fabric, dev));
+  core::ClusterSpec cluster =
+      core::ClusterSpec::dedicated(/*n_aggregators=*/1, fabric, dev);
+  if (cfg.n_racks > 1) {
+    cluster.topology =
+        core::TopologySpec::two_tier_racks(cfg.n_racks, cfg.oversubscription);
+    // The aggregating switch is the spine itself; model its data plane as
+    // sitting in rack 0, reached through the rack uplinks.
+    cluster.topology.aggregator_racks = {0};
+  }
+  return core::run_allreduce(tensors, engine_cfg, cluster);
 }
 
 }  // namespace omr::innet

@@ -25,6 +25,14 @@ struct P4Config {
   std::size_t num_streams = 256;
   double fixed_point_scale = 1048576.0;
   std::uint64_t seed = 1;
+  /// Fabric shape. With n_racks > 1 the workers sit in racks under ToR
+  /// switches and the aggregating switch is the rack-0 spine: remote
+  /// workers' packets — and each multicast copy headed to a remote rack —
+  /// pay store-and-forward serialization on the rack up/downlinks, so the
+  /// multicast engine's single-TX advantage no longer hides the spine.
+  std::size_t n_racks = 1;
+  /// Spine oversubscription ratio (>= 1); only meaningful with n_racks > 1.
+  double oversubscription = 1.0;
 };
 
 /// Run one AllReduce through the in-network aggregator. Tensors are reduced

@@ -8,14 +8,31 @@ namespace omr::net {
 
 Network::Network(sim::Simulator& simulator, sim::Time one_way_latency,
                  std::uint64_t seed)
-    : sim_(simulator), latency_(one_way_latency), drop_rng_(seed) {}
+    : Network(simulator, std::make_unique<IdealSwitch>(one_way_latency),
+              seed) {}
+
+Network::Network(sim::Simulator& simulator, std::unique_ptr<Topology> topology,
+                 std::uint64_t seed)
+    : sim_(simulator), topo_(std::move(topology)), drop_rng_(seed) {
+  if (topo_ == nullptr) throw std::invalid_argument("null topology");
+  topo_->set_link_seed(seed);
+  // The ideal switch has no interior links: skip the per-message route()
+  // call and use the uniform one-way latency directly (the seed hot path).
+  if (const auto* ideal = dynamic_cast<const IdealSwitch*>(topo_.get())) {
+    latency_ = ideal->one_way_latency();
+  } else {
+    latency_ = -1;  // sentinel: consult the topology per message
+  }
+}
 
 NicId Network::add_nic(const NicConfig& cfg) {
   if (cfg.tx_bandwidth_bps <= 0 || cfg.rx_bandwidth_bps <= 0) {
     throw std::invalid_argument("NIC bandwidth must be positive");
   }
   nics_.push_back(Nic{cfg, 0, 0, {}});
-  return static_cast<NicId>(nics_.size() - 1);
+  const NicId id = static_cast<NicId>(nics_.size() - 1);
+  topo_->add_nic(id, cfg.tx_bandwidth_bps, cfg.rx_bandwidth_bps);
+  return id;
 }
 
 EndpointId Network::attach(Endpoint* endpoint, NicId nic) {
@@ -25,6 +42,20 @@ EndpointId Network::attach(Endpoint* endpoint, NicId nic) {
   }
   endpoints_.push_back(Attached{endpoint, nic});
   return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void Network::add_external_traffic(NicId nic, std::uint64_t tx_bytes,
+                                   std::uint64_t rx_bytes,
+                                   std::uint64_t tx_messages,
+                                   std::uint64_t rx_messages) {
+  if (nic < 0 || nic >= static_cast<NicId>(nics_.size())) {
+    throw std::out_of_range("unknown NIC");
+  }
+  NicStats& s = nics_[nic].stats;
+  s.tx_bytes += tx_bytes;
+  s.rx_bytes += rx_bytes;
+  s.tx_messages += tx_messages;
+  s.rx_messages += rx_messages;
 }
 
 sim::Time Network::tx_serialize(NicId nic_id, std::size_t bytes,
@@ -42,11 +73,57 @@ sim::Time Network::tx_serialize(NicId nic_id, std::size_t bytes,
   return nic.tx_free;
 }
 
+sim::Time Network::traverse_path(NicId src_nic, NicId dst_nic,
+                                 sim::Time departure, std::size_t bytes,
+                                 std::size_t payload_bytes) {
+  if (latency_ >= 0) return departure + latency_;  // ideal switch
+  const Path& path = topo_->route(src_nic, dst_nic);
+  sim::Time t = departure + path.ingress_latency;
+  for (LinkId id : path.links) {
+    Link& link = topo_->link(id);
+    if (!link.loss.lossless() && link.loss.drop(link.loss_rng)) {
+      link.stats.dropped_messages += 1;
+      ++total_dropped_;
+      if (tracer_ != nullptr) tracer_->link_drop(id, t, bytes);
+      return -1;
+    }
+    // Store-and-forward: the hop's port serializes the whole message
+    // (FIFO), then propagation to the next hop.
+    const sim::Time start = std::max(t, link.busy_until);
+    const sim::Time cost = sim::from_seconds(
+        static_cast<double>(bytes) * 8.0 / link.cfg.bandwidth_bps);
+    link.busy_until = start + cost;
+    link.stats.tx_bytes += bytes;
+    link.stats.tx_messages += 1;
+    if (tracer_ != nullptr) {
+      const auto lane = static_cast<std::size_t>(id);
+      if (lane >= link_lane_named_.size()) link_lane_named_.resize(lane + 1);
+      if (!link_lane_named_[lane]) {
+        link_lane_named_[lane] = true;
+        tracer_->name_process(telemetry::link_pid(lane),
+                              "link " + link.cfg.name);
+      }
+      tracer_->link_tx(id, start, link.busy_until, bytes, payload_bytes);
+    }
+    t = link.busy_until + link.cfg.latency;
+  }
+  return t;
+}
+
 void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
                       sim::Time departure, std::size_t bytes,
                       std::size_t payload_bytes) {
-  const sim::Time arrival = departure + latency_;
-  if (loss_rate_ > 0.0 && drop_rng_.next_bool(loss_rate_)) {
+  const sim::Time arrival = traverse_path(endpoints_[src].nic,
+                                          endpoints_[dst].nic, departure,
+                                          bytes, payload_bytes);
+  if (arrival < 0) {  // eaten by a link's loss process
+    if (trace_ != nullptr) {
+      trace_->push_back({departure, 0, src, dst,
+                         static_cast<std::uint32_t>(bytes), true});
+    }
+    return;
+  }
+  if (!fabric_loss_.lossless() && fabric_loss_.drop(drop_rng_)) {
     nics_[endpoints_[dst].nic].stats.dropped_messages += 1;
     ++total_dropped_;
     if (trace_ != nullptr) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "net/topology.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -13,8 +14,6 @@
 
 namespace omr::net {
 
-/// Identifies a NIC (a bandwidth-limited port on the fabric).
-using NicId = int;
 /// Identifies a protocol endpoint attached to some NIC. Several endpoints
 /// may share one NIC (e.g., a colocated aggregator on a worker machine).
 using EndpointId = int;
@@ -63,19 +62,28 @@ struct TraceEvent {
   bool dropped = false;
 };
 
-/// Simulated fabric: full-duplex NICs joined by an ideal non-blocking
-/// switch with uniform one-way latency. Transmission of a B-byte message
-/// occupies the sender TX for B/tx_bw, traverses the fabric in
-/// `one_way_latency`, then occupies the receiver RX for B/rx_bw. TX and RX
-/// queues are FIFO, so delivery between any NIC pair is in order —
+/// Simulated fabric: full-duplex NICs joined by a pluggable Topology.
+/// Transmission of a B-byte message occupies the sender TX for B/tx_bw,
+/// traverses the topology's path — a propagation delay plus zero or more
+/// store-and-forward links, each FIFO-serializing B/link_bw — then occupies
+/// the receiver RX for B/rx_bw. TX, link and RX queues are all FIFO and
+/// routing is static, so delivery between any NIC pair is in order —
 /// matching RDMA RC semantics when the loss rate is zero.
 ///
-/// A nonzero loss rate drops each message independently (Bernoulli, seeded)
-/// at the fabric, modelling the UDP/DPDK deployment; protocols must then
-/// run their own recovery (Algorithm 2).
+/// The default topology is IdealSwitch (one uniform one-way latency, no
+/// interior links): exactly the pre-topology fabric, bit-identical runs.
+///
+/// Loss comes from two places, both seeded: the fabric-level process
+/// (Bernoulli via set_loss_rate — the legacy UDP/DPDK model — or
+/// Gilbert-Elliott bursts via set_loss_model), applied once per delivery,
+/// and per-link processes inside the topology. Protocols must then run
+/// their own recovery (Algorithm 2).
 class Network {
  public:
   Network(sim::Simulator& simulator, sim::Time one_way_latency,
+          std::uint64_t seed = 1);
+  /// Custom fabric topology (two-tier racks, ...). The network owns it.
+  Network(sim::Simulator& simulator, std::unique_ptr<Topology> topology,
           std::uint64_t seed = 1);
 
   Network(const Network&) = delete;
@@ -88,8 +96,14 @@ class Network {
   EndpointId attach(Endpoint* endpoint, NicId nic);
 
   /// Independent drop probability per message (0 disables loss).
-  void set_loss_rate(double p) { loss_rate_ = p; }
+  void set_loss_rate(double p) {
+    loss_rate_ = p;
+    fabric_loss_ = LossProcess::bernoulli(p);
+  }
   double loss_rate() const { return loss_rate_; }
+  /// Arbitrary fabric-level loss process (e.g. Gilbert-Elliott bursts),
+  /// applied once per delivery at the fabric like the Bernoulli model.
+  void set_loss_model(const LossProcess& loss) { fabric_loss_ = loss; }
 
   /// Unicast `msg` from `src` to `dst`.
   void send(EndpointId src, EndpointId dst, MessagePtr msg);
@@ -114,9 +128,20 @@ class Network {
   telemetry::Tracer* tracer() const { return tracer_; }
 
   const NicStats& nic_stats(NicId nic) const { return nics_[nic].stats; }
-  NicStats& mutable_nic_stats(NicId nic) { return nics_[nic].stats; }
+  /// Account traffic that bypassed the simulated fabric (e.g. an analytic
+  /// model charging bytes without scheduling messages) into a NIC's
+  /// counters. This is the only sanctioned way to adjust NicStats from
+  /// outside: fabric-owned counters (links, drops) stay consistent because
+  /// external traffic never traverses them.
+  void add_external_traffic(NicId nic, std::uint64_t tx_bytes,
+                            std::uint64_t rx_bytes,
+                            std::uint64_t tx_messages = 0,
+                            std::uint64_t rx_messages = 0);
   NicId nic_of(EndpointId ep) const { return endpoints_[ep].nic; }
   std::uint64_t total_dropped() const { return total_dropped_; }
+
+  const Topology& topology() const { return *topo_; }
+  Topology& topology() { return *topo_; }
 
   sim::Simulator& simulator() { return sim_; }
   sim::Time one_way_latency() const { return latency_; }
@@ -136,6 +161,11 @@ class Network {
   /// TX-serialize at src; returns the wire-departure completion time.
   sim::Time tx_serialize(NicId nic, std::size_t bytes,
                          std::size_t payload_bytes);
+  /// Walk the topology path: per-link loss, FIFO serialization and
+  /// propagation. Returns the fabric-exit time, or -1 when a link dropped
+  /// the message (already accounted).
+  sim::Time traverse_path(NicId src_nic, NicId dst_nic, sim::Time departure,
+                          std::size_t bytes, std::size_t payload_bytes);
   /// Schedule arrival/RX/delivery of a message departing at `departure`.
   /// `bytes`/`payload_bytes` are msg's sizes, computed once by the caller
   /// (multicast delivers the same message to many destinations).
@@ -144,12 +174,15 @@ class Network {
                std::size_t payload_bytes);
 
   sim::Simulator& sim_;
-  sim::Time latency_;
+  std::unique_ptr<Topology> topo_;
+  sim::Time latency_;  // IdealSwitch one-way latency (0 for custom fabrics)
   sim::Rng drop_rng_;
   double loss_rate_ = 0.0;
+  LossProcess fabric_loss_;
   std::uint64_t total_dropped_ = 0;
   std::vector<TraceEvent>* trace_ = nullptr;
   telemetry::Tracer* tracer_ = nullptr;
+  std::vector<bool> link_lane_named_;  // tracer lane names, set lazily
   std::vector<Nic> nics_;
   std::vector<Attached> endpoints_;
 };

@@ -89,6 +89,20 @@ void RunReport::write_json(std::ostream& os, bool include_trace) const {
   write_histogram(os, round_gap_ns);
   os << "}";
 
+  if (!links.empty()) {
+    os << ",\"links\":[";
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const LinkReport& l = links[i];
+      if (i > 0) os << ",";
+      os << "{\"name\":\"";
+      write_escaped(os, l.name);
+      os << "\",\"tx_bytes\":" << l.tx_bytes
+         << ",\"tx_messages\":" << l.tx_messages
+         << ",\"dropped_messages\":" << l.dropped_messages << "}";
+    }
+    os << "]";
+  }
+
   os << ",\"streams\":[";
   for (std::size_t i = 0; i < streams.size(); ++i) {
     const StreamTimeline& tl = streams[i];

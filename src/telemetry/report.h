@@ -10,6 +10,16 @@
 
 namespace omr::telemetry {
 
+/// Per-fabric-link counters (NicStats-style) for store-and-forward
+/// topologies: one entry per interior link (ToR uplink / spine port),
+/// named by the topology. Empty on the ideal single-switch fabric.
+struct LinkReport {
+  std::string name;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_messages = 0;
+  std::uint64_t dropped_messages = 0;
+};
+
 /// Structured outcome of one collective (or a whole Session): a superset
 /// of core::RunStats — the flat stats fields are mirrored 1:1 so the
 /// report serializes without depending on core — plus telemetry-derived
@@ -52,6 +62,11 @@ struct RunReport {
   Histogram message_wire_bytes;
   Histogram round_gap_ns;
   std::vector<StreamTimeline> streams;
+
+  /// Per-link fabric counters. Serialized only when non-empty, so reports
+  /// from the default IdealSwitch fabric stay byte-identical to
+  /// pre-topology runs.
+  std::vector<LinkReport> links;
 
   /// Full event timeline (empty unless TelemetryConfig::trace_events).
   Trace trace;

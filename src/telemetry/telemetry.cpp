@@ -19,6 +19,8 @@ const char* event_name(EventKind kind) {
     case EventKind::kRoundAdvance: return "round_advance";
     case EventKind::kAckTx: return "ack_tx";
     case EventKind::kCollective: return "collective";
+    case EventKind::kLinkTx: return "link_tx";
+    case EventKind::kLinkDrop: return "link_drop";
   }
   return "unknown";
 }
@@ -127,6 +129,19 @@ void Tracer::message_drop(int nic, sim::Time ts, std::uint64_t wire_bytes,
                           std::int32_t dst_endpoint) {
   record({EventKind::kMessageDrop, ts, 0, nic_pid(nic), kTidNicRx, 0,
           wire_bytes, static_cast<std::uint64_t>(dst_endpoint)});
+}
+
+void Tracer::link_tx(int link, sim::Time start, sim::Time end,
+                     std::uint64_t wire_bytes, std::uint64_t payload_bytes) {
+  record({EventKind::kLinkTx, start, end - start,
+          link_pid(static_cast<std::size_t>(link)), kTidNicTx, 0, wire_bytes,
+          payload_bytes});
+}
+
+void Tracer::link_drop(int link, sim::Time ts, std::uint64_t wire_bytes) {
+  record({EventKind::kLinkDrop, ts, 0,
+          link_pid(static_cast<std::size_t>(link)), kTidNicTx, 0, wire_bytes,
+          0});
 }
 
 void Tracer::slot_open(std::int32_t pid, sim::Time ts, std::uint32_t stream) {

@@ -25,9 +25,11 @@ enum class EventKind : std::uint8_t {
   kRoundAdvance,     // instant: one aggregation round completed
   kAckTx,            // instant: worker sent a payload-less ack
   kCollective,       // span: one whole collective on the driver lane
+  kLinkTx,           // span: store-and-forward serialization on a fabric link
+  kLinkDrop,         // instant: a fabric link's loss process ate the message
 };
 
-inline constexpr std::size_t kNumEventKinds = 11;
+inline constexpr std::size_t kNumEventKinds = 13;
 
 /// Stable snake_case names used as the `name` field of the Chrome trace.
 const char* event_name(EventKind kind);
@@ -42,9 +44,15 @@ constexpr std::int32_t worker_pid(std::size_t w) {
 constexpr std::int32_t aggregator_pid(std::size_t a) {
   return 1'000'001 + static_cast<std::int32_t>(a);
 }
-constexpr bool is_aggregator_pid(std::int32_t pid) {
-  return pid >= 1'000'001;
+/// Interior fabric links (ToR uplinks / spine ports) get their own lanes
+/// above the aggregator range.
+constexpr std::int32_t link_pid(std::size_t l) {
+  return 2'000'001 + static_cast<std::int32_t>(l);
 }
+constexpr bool is_aggregator_pid(std::int32_t pid) {
+  return pid >= 1'000'001 && pid < 2'000'001;
+}
+constexpr bool is_link_pid(std::int32_t pid) { return pid >= 2'000'001; }
 
 /// Tracks (tids) within a process lane.
 constexpr std::int32_t kTidProtocol = 0;
@@ -149,6 +157,11 @@ class Tracer {
                   std::uint64_t wire_bytes, std::uint64_t payload_bytes);
   void message_drop(int nic, sim::Time ts, std::uint64_t wire_bytes,
                     std::int32_t dst_endpoint);
+
+  // --- fabric-link hooks (store-and-forward topologies) ------------------
+  void link_tx(int link, sim::Time start, sim::Time end,
+               std::uint64_t wire_bytes, std::uint64_t payload_bytes);
+  void link_drop(int link, sim::Time ts, std::uint64_t wire_bytes);
 
   // --- protocol hooks (called by Worker / Aggregator) --------------------
   void slot_open(std::int32_t pid, sim::Time ts, std::uint32_t stream);

@@ -69,5 +69,68 @@ TEST(Determinism, LossyDpdkRunsAreBitIdentical) {
   EXPECT_GT(a.dropped_messages, 0u);
 }
 
+// Golden pins: statistics captured on the pre-topology flat Network. The
+// refactor to the link/path fabric must leave the default IdealSwitch runs
+// bit-identical — any change to these values is a semantic regression in
+// the seed fabric, not an acceptable drift.
+
+TEST(Determinism, LosslessRdmaMatchesPreTopologyGolden) {
+  const RunStats a = run_once(make_setup(Transport::kRdma, 0.0));
+  EXPECT_EQ(a.completion_time, 467621);
+  EXPECT_EQ(a.worker_finish,
+            (std::vector<sim::Time>{464999, 465873, 466747, 467621}));
+  EXPECT_EQ(a.worker_data_bytes,
+            (std::vector<std::uint64_t>{38912, 38912, 38912, 38912}));
+  EXPECT_EQ(a.total_messages, 1176u);
+  EXPECT_EQ(a.retransmissions, 0u);
+  EXPECT_EQ(a.dropped_messages, 0u);
+  EXPECT_EQ(a.rounds, 375u);
+  EXPECT_EQ(a.acks, 0u);
+  EXPECT_EQ(a.duplicate_resends, 0u);
+  EXPECT_TRUE(a.links.empty());  // the flat fabric reports no links
+}
+
+TEST(Determinism, LossyDpdkMatchesPreTopologyGolden) {
+  const RunStats a = run_once(make_setup(Transport::kDpdk, 0.01));
+  EXPECT_EQ(a.completion_time, 1353163);
+  EXPECT_EQ(a.worker_finish,
+            (std::vector<sim::Time>{1350532, 1351409, 1352286, 1353163}));
+  EXPECT_EQ(a.worker_data_bytes,
+            (std::vector<std::uint64_t>{38912, 38912, 38912, 38912}));
+  EXPECT_EQ(a.total_messages, 1578u);
+  EXPECT_EQ(a.retransmissions, 78u);
+  EXPECT_EQ(a.dropped_messages, 32u);
+  EXPECT_EQ(a.rounds, 375u);
+  EXPECT_EQ(a.acks, 324u);
+  EXPECT_EQ(a.duplicate_resends, 38u);
+  EXPECT_TRUE(a.links.empty());
+}
+
+TEST(Determinism, TwoTierRunsAreBitIdentical) {
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cluster.topology = TopologySpec::two_tier_racks(2, 4.0);
+  const RunStats a = run_once(s);
+  const RunStats b = run_once(s);
+  expect_identical(a, b);
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].tx_bytes, b.links[i].tx_bytes);
+    EXPECT_EQ(a.links[i].tx_messages, b.links[i].tx_messages);
+    EXPECT_EQ(a.links[i].dropped_messages, b.links[i].dropped_messages);
+  }
+}
+
+TEST(Determinism, BurstLossRunsAreBitIdentical) {
+  RunSetup s = make_setup(Transport::kDpdk, 0.0);
+  s.cfg.retransmit_timeout = sim::microseconds(500);
+  s.cluster.fabric.burst_loss.p_good_to_bad = 0.02;
+  s.cluster.fabric.burst_loss.p_bad_to_good = 0.25;
+  const RunStats a = run_once(s);
+  const RunStats b = run_once(s);
+  expect_identical(a, b);
+  EXPECT_GT(a.dropped_messages, 0u);
+  EXPECT_GT(a.retransmissions, 0u);
+}
+
 }  // namespace
 }  // namespace omr::core

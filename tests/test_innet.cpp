@@ -55,6 +55,32 @@ TEST(P4Aggregator, FasterThanServerAggregator) {
   EXPECT_LT(sw.completion_time, server.completion_time);
 }
 
+TEST(P4Aggregator, TwoTierFabricPaysPerHopSerialization) {
+  // The same workload on a racked fabric: remote workers reach the
+  // aggregating switch through rack uplinks, and every multicast copy to
+  // a remote rack is store-and-forward serialized on its downlink — so
+  // completion must rise with the rack split, and again when the spine
+  // is oversubscribed.
+  auto flat_ts = inputs(8, 256 * 64, 0.5, 6);
+  core::RunStats flat = run_allreduce_innet(flat_ts, P4Config{});
+  EXPECT_TRUE(flat.verified);
+
+  P4Config racked_cfg;
+  racked_cfg.n_racks = 2;
+  auto racked_ts = inputs(8, 256 * 64, 0.5, 6);
+  core::RunStats racked = run_allreduce_innet(racked_ts, racked_cfg);
+  EXPECT_TRUE(racked.verified);
+  EXPECT_GT(racked.completion_time, flat.completion_time);
+  EXPECT_FALSE(racked.links.empty());
+
+  P4Config over_cfg = racked_cfg;
+  over_cfg.oversubscription = 4.0;
+  auto over_ts = inputs(8, 256 * 64, 0.5, 6);
+  core::RunStats over = run_allreduce_innet(over_ts, over_cfg);
+  EXPECT_TRUE(over.verified);
+  EXPECT_GT(over.completion_time, racked.completion_time);
+}
+
 TEST(P4Aggregator, FixedPointQuantizationBounded) {
   // Quantization error per element is at most N / scale.
   auto ts = inputs(8, 256 * 32, 0.0, 4);

@@ -236,8 +236,279 @@ TEST(Network, TraceRecordsDeliveriesAndDrops) {
   EXPECT_NEAR(static_cast<double>(dropped) / n, 0.5, 0.05);
 }
 
+TEST(Network, AddExternalTrafficAccumulates) {
+  Fixture f;
+  auto [a, ra] = f.make_node();
+  (void)ra;
+  const NicId nic = f.net.nic_of(a);
+  f.net.add_external_traffic(nic, 1000, 500, 3, 2);
+  f.net.add_external_traffic(nic, 10, 20);
+  const NicStats& s = f.net.nic_stats(nic);
+  EXPECT_EQ(s.tx_bytes, 1010u);
+  EXPECT_EQ(s.rx_bytes, 520u);
+  EXPECT_EQ(s.tx_messages, 3u);
+  EXPECT_EQ(s.rx_messages, 2u);
+  EXPECT_THROW(f.net.add_external_traffic(99, 1, 1), std::out_of_range);
+}
+
+TEST(Network, SwitchMulticastIndependentDropsUnderLoss) {
+  Fixture f(0, 7);
+  f.net.set_loss_rate(0.3);
+  auto [src, rs] = f.make_node(100e9);
+  (void)rs;
+  std::vector<EndpointId> dsts;
+  std::vector<Recorder*> recs;
+  for (int i = 0; i < 4; ++i) {
+    auto [ep, r] = f.make_node(100e9);
+    dsts.push_back(ep);
+    recs.push_back(r);
+  }
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    f.net.send_switch_multicast(src, dsts, make_message<Blob>(100, i));
+  }
+  f.sim.run();
+  // Single TX serialization per multicast regardless of fan-out.
+  EXPECT_EQ(f.net.nic_stats(f.net.nic_of(src)).tx_messages,
+            static_cast<std::uint64_t>(n));
+  // Drops are per-receiver: every copy draws independently, so receiver
+  // delivery counts track the loss rate and the books balance.
+  std::size_t delivered = 0;
+  std::uint64_t dst_drops = 0;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const double rate = static_cast<double>(recs[i]->received.size()) / n;
+    EXPECT_NEAR(rate, 0.7, 0.08);
+    delivered += recs[i]->received.size();
+    dst_drops += f.net.nic_stats(f.net.nic_of(dsts[i])).dropped_messages;
+  }
+  EXPECT_EQ(delivered + f.net.total_dropped(),
+            static_cast<std::size_t>(n) * recs.size());
+  EXPECT_EQ(dst_drops, f.net.total_dropped());
+  // Independence: some multicast must have reached a strict subset of the
+  // receivers (all-or-nothing drops would never produce one).
+  bool partial = false;
+  for (int tag = 0; tag < n && !partial; ++tag) {
+    std::size_t got = 0;
+    for (auto* r : recs) {
+      for (const auto& rx : r->received) {
+        if (rx.tag == tag) {
+          ++got;
+          break;
+        }
+      }
+    }
+    partial = got > 0 && got < recs.size();
+  }
+  EXPECT_TRUE(partial);
+}
+
+TEST(LossProcess, BernoulliZeroRateIsLossless) {
+  LossProcess lp = LossProcess::bernoulli(0.0);
+  EXPECT_TRUE(lp.lossless());
+  GilbertElliottConfig off;
+  EXPECT_TRUE(LossProcess::gilbert_elliott(off).lossless());
+}
+
+TEST(LossProcess, GilbertElliottBurstsMatchChainParameters) {
+  GilbertElliottConfig ge;
+  ge.p_good_to_bad = 0.01;
+  ge.p_bad_to_good = 0.25;  // mean burst length 4
+  LossProcess lp = LossProcess::gilbert_elliott(ge);
+  sim::Rng rng(123);
+  const int n = 200000;
+  int drops = 0, bursts = 0, run = 0;
+  for (int i = 0; i < n; ++i) {
+    if (lp.drop(rng)) {
+      ++drops;
+      ++run;
+    } else if (run > 0) {
+      ++bursts;
+      run = 0;
+    }
+  }
+  if (run > 0) ++bursts;
+  const double rate = static_cast<double>(drops) / n;
+  EXPECT_NEAR(rate, ge.steady_state_loss(), 0.006);
+  const double mean_burst = static_cast<double>(drops) / bursts;
+  EXPECT_NEAR(mean_burst, 1.0 / ge.p_bad_to_good, 0.5);
+  // i.i.d. loss at the same rate would make one-drop bursts dominate; the
+  // chain's mean burst must sit far above 1.
+  EXPECT_GT(mean_burst, 2.0);
+}
+
+TEST(Network, GilbertElliottFabricLossAccountsEveryMessage) {
+  Fixture f(0, 9);
+  GilbertElliottConfig ge;
+  ge.p_good_to_bad = 0.02;
+  ge.p_bad_to_good = 0.2;
+  f.net.set_loss_model(LossProcess::gilbert_elliott(ge));
+  auto [a, ra] = f.make_node(100e9);
+  auto [b, rb] = f.make_node(100e9);
+  (void)ra;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) f.net.send(a, b, make_message<Blob>(10));
+  f.sim.run();
+  EXPECT_EQ(rb->received.size() + f.net.total_dropped(),
+            static_cast<std::size_t>(n));
+  const double rate = static_cast<double>(f.net.total_dropped()) / n;
+  EXPECT_NEAR(rate, ge.steady_state_loss(), 0.01);
+}
+
+// --- TwoTierFabric ---
+
+struct FabricFixture {
+  sim::Simulator sim;
+  Network net;
+  explicit FabricFixture(TwoTierFabric::Config cfg, std::uint64_t seed = 1)
+      : net(sim, std::make_unique<TwoTierFabric>(std::move(cfg)), seed) {}
+  std::pair<EndpointId, Recorder*> make_node(double bw = 10e9) {
+    auto* r = new Recorder;  // owned by recorders
+    r->sim = &sim;
+    recorders.push_back(std::unique_ptr<Recorder>(r));
+    NicId nic = net.add_nic({bw, bw});
+    return {net.attach(r, nic), r};
+  }
+  std::vector<std::unique_ptr<Recorder>> recorders;
+};
+
+TEST(TwoTierFabric, IntraRackMatchesIdealSwitchAtHalfLatency) {
+  TwoTierFabric::Config cfg;
+  cfg.n_racks = 2;
+  cfg.hop_latency = sim::microseconds(5);
+  cfg.rack_of_nic = {0, 0};
+  FabricFixture f(cfg);
+  auto [a, ra] = f.make_node(10e9);
+  auto [b, rb] = f.make_node(10e9);
+  (void)ra;
+  // Same-rack path: 1 us TX + 2 x 5 us hops + 1 us RX = the ideal switch's
+  // 12 us with one_way_latency = 10 us (hop = L/2 calibration).
+  f.net.send(a, b, make_message<Blob>(1250));
+  f.sim.run();
+  ASSERT_EQ(rb->received.size(), 1u);
+  EXPECT_EQ(rb->received[0].at, sim::microseconds(12));
+}
+
+TEST(TwoTierFabric, InterRackPaysStoreAndForwardPerHop) {
+  TwoTierFabric::Config cfg;
+  cfg.n_racks = 2;
+  cfg.hop_latency = sim::microseconds(5);
+  cfg.rack_of_nic = {0, 1};
+  FabricFixture f(cfg);
+  auto [a, ra] = f.make_node(10e9);
+  auto [b, rb] = f.make_node(10e9);
+  (void)ra;
+  // 1 us TX, 5 us to ToR; uplink (10 Gbps at 1:1) serializes 1 us then
+  // 5 us to the spine; downlink serializes 1 us then 10 us to the NIC;
+  // 1 us RX: delivered at 24 us.
+  f.net.send(a, b, make_message<Blob>(1250));
+  f.sim.run();
+  ASSERT_EQ(rb->received.size(), 1u);
+  EXPECT_EQ(rb->received[0].at, sim::microseconds(24));
+  // Both spine links carried the message; per-link books agree.
+  const auto& topo = dynamic_cast<const TwoTierFabric&>(f.net.topology());
+  EXPECT_EQ(topo.link_stats(topo.uplink(0)).tx_messages, 1u);
+  EXPECT_EQ(topo.link_stats(topo.uplink(0)).tx_bytes, 1250u);
+  EXPECT_EQ(topo.link_stats(topo.downlink(1)).tx_messages, 1u);
+  EXPECT_EQ(topo.link_stats(topo.downlink(0)).tx_messages, 0u);
+}
+
+TEST(TwoTierFabric, DerivedUplinkCapacityHonorsOversubscription) {
+  TwoTierFabric::Config cfg;
+  cfg.n_racks = 2;
+  cfg.hop_latency = 0;
+  cfg.oversubscription = 2.0;
+  cfg.rack_of_nic = {0, 0, 1};
+  FabricFixture f(cfg);
+  auto [a0, r0] = f.make_node(10e9);
+  auto [a1, r1] = f.make_node(10e9);
+  auto [b, rb] = f.make_node(10e9);
+  (void)r0;
+  (void)r1;
+  (void)rb;
+  f.net.send(a0, b, make_message<Blob>(100));  // freezes the fabric
+  f.sim.run();
+  const auto& topo = dynamic_cast<const TwoTierFabric&>(f.net.topology());
+  // Rack 0 edge = 20 Gbps over ratio 2 -> 10 Gbps uplink; rack 1's single
+  // NIC gives a 5 Gbps uplink.
+  EXPECT_DOUBLE_EQ(topo.link(topo.uplink(0)).cfg.bandwidth_bps, 10e9);
+  EXPECT_DOUBLE_EQ(topo.link(topo.uplink(1)).cfg.bandwidth_bps, 5e9);
+}
+
+TEST(TwoTierFabric, SharedSpineLinksSerializeCrossRackTraffic) {
+  TwoTierFabric::Config cfg;
+  cfg.n_racks = 2;
+  cfg.hop_latency = 0;
+  cfg.uplink_bandwidth_bps = 10e9;  // oversubscribed: rack edge is 20 Gbps
+  cfg.rack_of_nic = {0, 0, 1, 1};
+  FabricFixture f(cfg);
+  auto [a0, r0] = f.make_node(10e9);
+  auto [a1, r1] = f.make_node(10e9);
+  auto [b0, rb0] = f.make_node(10e9);
+  auto [b1, rb1] = f.make_node(10e9);
+  (void)r0;
+  (void)r1;
+  // Both rack-0 NICs finish TX at 10 us in parallel, then queue FIFO on
+  // the shared 10 Gbps uplink (10->20, 20->30) and again on rack 1's
+  // shared downlink (20->30, 30->40); separate RX NICs add 10 us each.
+  f.net.send(a0, b0, make_message<Blob>(12500));
+  f.net.send(a1, b1, make_message<Blob>(12500));
+  f.sim.run();
+  ASSERT_EQ(rb0->received.size(), 1u);
+  ASSERT_EQ(rb1->received.size(), 1u);
+  EXPECT_EQ(rb0->received[0].at, sim::microseconds(40));
+  EXPECT_EQ(rb1->received[0].at, sim::microseconds(50));
+}
+
+TEST(TwoTierFabric, SpineLossDropsOnlyCrossRackTraffic) {
+  TwoTierFabric::Config cfg;
+  cfg.n_racks = 2;
+  cfg.hop_latency = 0;
+  cfg.rack_of_nic = {0, 0, 1};
+  cfg.spine_loss = LossProcess::bernoulli(1.0);
+  FabricFixture f(cfg);
+  auto [a, ra] = f.make_node();
+  auto [b, rb] = f.make_node();
+  auto [c, rc] = f.make_node();
+  (void)ra;
+  f.net.send(a, b, make_message<Blob>(100));  // intra-rack: ToR only
+  f.net.send(a, c, make_message<Blob>(100));  // crosses the lossy spine
+  f.sim.run();
+  EXPECT_EQ(rb->received.size(), 1u);
+  EXPECT_EQ(rc->received.size(), 0u);
+  EXPECT_EQ(f.net.total_dropped(), 1u);
+  const auto& topo = dynamic_cast<const TwoTierFabric&>(f.net.topology());
+  EXPECT_EQ(topo.link_stats(topo.uplink(0)).dropped_messages, 1u);
+  EXPECT_EQ(topo.link_stats(topo.downlink(1)).tx_messages, 0u);
+}
+
+TEST(TwoTierFabric, RejectsInvalidConfig) {
+  TwoTierFabric::Config zero_racks;
+  zero_racks.n_racks = 0;
+  EXPECT_THROW(TwoTierFabric{zero_racks}, std::invalid_argument);
+  TwoTierFabric::Config under;
+  under.oversubscription = 0.5;
+  EXPECT_THROW(TwoTierFabric{under}, std::invalid_argument);
+  TwoTierFabric::Config bad_rack;
+  bad_rack.n_racks = 2;
+  bad_rack.rack_of_nic = {0, 3};
+  EXPECT_THROW(TwoTierFabric{bad_rack}, std::invalid_argument);
+}
+
 TEST(TcpModel, NoLossGivesLineRate) {
   EXPECT_DOUBLE_EQ(tcp_goodput_bps(10e9, 100e-6, 0.0), 10e9);
+}
+
+TEST(TcpModel, CappedAtLineRate) {
+  // Vanishing loss pushes the Mathis bound far above the wire; goodput
+  // must clamp to the line rate.
+  EXPECT_DOUBLE_EQ(tcp_goodput_bps(1e9, 100e-6, 1e-9), 1e9);
+}
+
+TEST(TcpModel, ScalesWithMssAndInverseRtt) {
+  // Uncapped regime: goodput ~ MSS / RTT.
+  const double base = tcp_goodput_bps(1e15, 100e-6, 0.001);
+  EXPECT_NEAR(tcp_goodput_bps(1e15, 100e-6, 0.001, 2920) / base, 2.0, 1e-9);
+  EXPECT_NEAR(tcp_goodput_bps(1e15, 200e-6, 0.001) / base, 0.5, 1e-9);
 }
 
 TEST(TcpModel, GoodputCollapsesWithLoss) {
