@@ -5,6 +5,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "core/faults.h"
 
 namespace omr::core {
 
@@ -69,10 +72,29 @@ void Aggregator::begin_collective() {
   results_sent_ = 0;
   duplicate_resends_ = 0;
   rounds_completed_ = 0;
+  resyncs_served_ = 0;
 }
 
-void Aggregator::on_message(net::EndpointId /*from*/,
-                            const net::MessagePtr& msg) {
+void Aggregator::on_message(net::EndpointId from, const net::MessagePtr& msg) {
+  if (faults_ != nullptr) {
+    if (faults_->aborted()) return;
+    const sim::Time now = net_.simulator().now();
+    const sim::Time until = faults_->stalled_until(node_index_, now);
+    if (until > now) {
+      // Slot stall: defer processing until the window lifts. Deferred
+      // messages re-enter in arrival order (FIFO at equal timestamps), and
+      // stop-and-wait per (worker, stream) makes any cross-source reorder
+      // harmless.
+      net_.simulator().schedule_at(until, [this, from, msg]() {
+        on_message(from, msg);
+      });
+      return;
+    }
+    if (const auto* rq = dynamic_cast<const ResyncRequest*>(msg.get())) {
+      handle_resync(*rq);
+      return;
+    }
+  }
   const auto p = std::dynamic_pointer_cast<const DataPacket>(msg);
   if (p == nullptr) {
     throw std::logic_error("aggregator received non-data message");
@@ -239,6 +261,10 @@ void Aggregator::handle_alg1(SlotState& st, std::uint32_t stream,
   // it: reclaim its buffers for the packet about to be emitted.
   recycle_packet(st.last_result);
   st.last_result = emit_result(st, stream, 0, requests, st.slot);
+  if (faults_ != nullptr) {
+    st.last_emitted =
+        std::static_pointer_cast<const ResultPacket>(st.last_result);
+  }
 }
 
 void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
@@ -270,6 +296,14 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
     for (auto& col : sv.data) col.assign(cfg_.block_size, identity());
     sv.pending.clear();
     sv.min_next.assign(p->next.begin(), p->next.end());
+    if (faults_ != nullptr && faults_->liveness_enabled()) {
+      // Arm the round's liveness deadline: if this round (identified by
+      // serial) is still open when it fires, some worker went silent.
+      const std::uint64_t serial = sv.serial;
+      net_.simulator().schedule_after(
+          faults_->spec().retry.peer_dead_after,
+          [this, stream, v, serial]() { liveness_check(stream, v, serial); });
+    }
   } else {
     for (std::size_t c = 0; c < st.info.columns; ++c) {
       sv.min_next[c] = std::min(sv.min_next[c], p->next[c]);
@@ -278,11 +312,64 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
   stage(st, sv.data, sv.pending, p);
   if (sv.count == n_workers_) {
     sv.count = 0;
+    ++sv.serial;  // round closed: void its pending liveness checks
     drain_pending(sv.data, sv.pending);
     // This version's previous result is obsolete once the new round has
     // completed: every worker has advanced past it. Reclaim its buffers.
     recycle_packet(sv.last_result);
     sv.last_result = emit_result(st, stream, v, sv.min_next, sv.data);
+    if (faults_ != nullptr) {
+      st.last_emitted =
+          std::static_pointer_cast<const ResultPacket>(sv.last_result);
+    }
+  }
+}
+
+void Aggregator::handle_resync(const ResyncRequest& rq) {
+  auto it = streams_.find(rq.stream);
+  if (it == streams_.end()) {
+    throw std::logic_error("resync for unknown stream");
+  }
+  SlotState& st = it->second;
+  auto resp = std::make_shared<ResyncResponse>();
+  resp->stream = rq.stream;
+  resp->header_bytes = cfg_.header_bytes;
+  resp->result = st.last_emitted;  // null until the stream's first emit
+  ++resyncs_served_;
+  if (tracer_ != nullptr) {
+    tracer_->resync(pid_, net_.simulator().now(), rq.stream);
+  }
+  net_.send(self_, workers_[rq.wid], resp);
+}
+
+void Aggregator::liveness_check(std::uint32_t stream, std::uint8_t v,
+                                std::uint64_t serial) {
+  if (faults_ == nullptr || faults_->aborted()) return;
+  const sim::Time now = net_.simulator().now();
+  const sim::Time until = faults_->stalled_until(node_index_, now);
+  if (until > now) {
+    // We are inside our own stall window: contributions may be parked in
+    // the deferral queue, so re-judge once the stall lifts.
+    net_.simulator().schedule_at(until, [this, stream, v, serial]() {
+      liveness_check(stream, v, serial);
+    });
+    return;
+  }
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return;
+  SlotState& st = it->second;
+  const SlotVersion& sv = st.ver[v];
+  if (st.done || sv.serial != serial || sv.count == 0) return;
+  // The round that armed this check is still open past the liveness
+  // deadline: declare the lowest-id silent worker dead.
+  for (std::uint32_t w = 0; w < n_workers_; ++w) {
+    if (!sv.seen[w]) {
+      faults_->declare_worker_dead(
+          w, now,
+          "worker " + std::to_string(w) + " silent on stream " +
+              std::to_string(stream) + " past the liveness deadline");
+      return;
+    }
   }
 }
 

@@ -13,6 +13,8 @@
 
 namespace omr::core {
 
+class FaultController;
+
 /// OmniReduce aggregator node. Owns a shard of the stream slots; runs the
 /// Algorithm 1 look-ahead aggregation on reliable fabrics and the
 /// Algorithm 2 versioned-slot variant (count-based rounds, duplicate
@@ -32,6 +34,15 @@ class Aggregator final : public net::Endpoint {
     pid_ = pid;
   }
 
+  /// Attach the fault-injection controller (nullptr = disabled, the
+  /// default). `node_index` selects this node's stall windows and names it
+  /// in failure verdicts. Enables stall deferral, the per-round worker
+  /// liveness check and the ResyncRequest handshake.
+  void set_faults(FaultController* faults, std::size_t node_index) {
+    faults_ = faults;
+    node_index_ = node_index;
+  }
+
   /// Register ownership of a stream's slot. Must be called for every
   /// stream routed to this node before traffic arrives.
   void add_stream(std::uint32_t stream, const StreamInfo& info);
@@ -48,6 +59,7 @@ class Aggregator final : public net::Endpoint {
   std::uint64_t results_sent() const { return results_sent_; }
   std::uint64_t duplicate_resends() const { return duplicate_resends_; }
   std::uint64_t rounds_completed() const { return rounds_completed_; }
+  std::uint64_t resyncs_served() const { return resyncs_served_; }
 
  private:
   /// Accumulator storage: one block_size buffer per column. Kept as
@@ -64,6 +76,9 @@ class Aggregator final : public net::Endpoint {
     net::MessagePtr last_result;               // retransmission buffer
     /// Deterministic mode: contributions buffered until round completion.
     std::vector<std::shared_ptr<const DataPacket>> pending;
+    /// Completed rounds of this version (fault layer): invalidates pending
+    /// liveness checks armed during an earlier round.
+    std::uint64_t serial = 0;
   };
   struct SlotState {
     StreamInfo info;
@@ -76,12 +91,22 @@ class Aggregator final : public net::Endpoint {
     net::MessagePtr last_result;  // previous round's result, for recycling
     // Algorithm 2 state
     SlotVersion ver[2];
+    /// Fault layer: most recent result of either version, retained for the
+    /// crash-recovery ResyncRequest handshake (null until a round emits).
+    std::shared_ptr<const ResultPacket> last_emitted;
   };
 
   void handle_alg1(SlotState& st, std::uint32_t stream,
                    const std::shared_ptr<const DataPacket>& p);
   void handle_alg2(SlotState& st, std::uint32_t stream,
                    const std::shared_ptr<const DataPacket>& p);
+  /// Crash recovery: answer with the stream's last emitted result.
+  void handle_resync(const ResyncRequest& rq);
+  /// Liveness deadline for a round of (stream, version): if the same round
+  /// (by serial) is still open, the lowest-id missing worker is declared
+  /// dead through the FaultController.
+  void liveness_check(std::uint32_t stream, std::uint8_t v,
+                      std::uint64_t serial);
   /// Fold p's block payloads into `slot` with the configured operator,
   /// either immediately or (deterministic mode) via `pending`.
   void stage(SlotState& st, SlotData& slot,
@@ -119,6 +144,8 @@ class Aggregator final : public net::Endpoint {
   std::vector<tensor::BlockIndex> requests_scratch_;  // per-packet work table
   telemetry::Tracer* tracer_ = nullptr;
   std::int32_t pid_ = 0;
+  FaultController* faults_ = nullptr;
+  std::size_t node_index_ = 0;
   net::EndpointId self_ = -1;
   std::vector<net::EndpointId> workers_;
   std::unordered_map<std::uint32_t, SlotState> streams_;
@@ -126,6 +153,7 @@ class Aggregator final : public net::Endpoint {
   std::uint64_t results_sent_ = 0;
   std::uint64_t duplicate_resends_ = 0;
   std::uint64_t rounds_completed_ = 0;
+  std::uint64_t resyncs_served_ = 0;
 };
 
 }  // namespace omr::core

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/faults.h"
 #include "device/device_model.h"
 #include "net/topology.h"
 #include "sim/time.h"
@@ -101,6 +102,11 @@ struct ClusterSpec {
   /// Opt-in instrumentation; the default is fully disabled (null tracer,
   /// zero cost on the event loop).
   telemetry::TelemetryConfig telemetry;
+  /// Deterministic fault schedule (stragglers, crashes with resync,
+  /// aggregator stalls, NIC/link flaps) plus the retry/liveness policy.
+  /// Default-constructed = inert: the engine runs the unfaulted path
+  /// byte-identically. See docs/ROBUSTNESS.md.
+  FaultSpec faults;
 
   /// Dedicated aggregator machines (the paper's testbed shape).
   static ClusterSpec dedicated(std::size_t n_aggregators,

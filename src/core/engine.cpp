@@ -73,11 +73,49 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
   if (cfg.fixed_point && cfg.op != ReduceOp::kSum) {
     throw std::invalid_argument("fixed-point slots support only sum");
   }
+
+  const FaultSpec& fault_spec = cluster.faults;
+  const bool faults_on = fault_spec.enabled();
+  if (faults_on) {
+    if (fault_spec.watchdog <= 0) {
+      throw std::invalid_argument(
+          "fault injection requires a positive watchdog");
+    }
+    for (const CrashSpec& c : fault_spec.crashes) {
+      if (c.worker >= n_workers) {
+        throw std::invalid_argument("crash spec names an unknown worker");
+      }
+    }
+    for (const AggStallSpec& s : fault_spec.agg_stalls) {
+      if (s.aggregator >= n_aggregator_nodes) {
+        throw std::invalid_argument("stall spec names an unknown aggregator");
+      }
+    }
+    for (const NicFlapSpec& f : fault_spec.nic_flaps) {
+      const std::size_t bound =
+          f.on_aggregator ? n_aggregator_nodes : n_workers;
+      if (f.index >= bound) {
+        throw std::invalid_argument("NIC flap names an unknown node");
+      }
+    }
+    if (!fault_spec.link_flaps.empty()) {
+      if (!cluster.topology.two_tier()) {
+        throw std::invalid_argument("link flaps require a two-tier topology");
+      }
+      for (const LinkFlapSpec& f : fault_spec.link_flaps) {
+        if (f.rack >= cluster.topology.n_racks) {
+          throw std::invalid_argument("link flap names an unknown rack");
+        }
+      }
+    }
+  }
+
   tensor::DenseTensor reference;
   if (verify) reference = reference_reduce(tensors, cfg);
 
   Config run_cfg = cfg;
-  if (fabric.lossy() || cluster.topology.spine_lossy()) {
+  if (fabric.lossy() || cluster.topology.spine_lossy() ||
+      (faults_on && fault_spec.needs_recovery())) {
     run_cfg.loss_recovery = true;
   }
 
@@ -89,6 +127,12 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
                        fabric.seed);
   apply_fabric_loss(network, fabric);
   network.set_tracer(tracer);
+
+  std::unique_ptr<FaultController> faults;
+  if (faults_on) {
+    faults = std::make_unique<FaultController>(
+        fault_spec, run_cfg.retransmit_timeout, tracer);
+  }
 
   const StreamLayout layout = StreamLayout::build(n, run_cfg);
 
@@ -120,12 +164,33 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
     }
   }
 
+  // Fault wiring that needs resolved NIC ids: outage windows on the
+  // fabric's NICs and (two-tier only) on per-rack spine links.
+  if (faults != nullptr) {
+    for (const NicFlapSpec& f : fault_spec.nic_flaps) {
+      const net::NicId nic =
+          f.on_aggregator ? agg_nics[f.index] : worker_nics[f.index];
+      network.add_nic_flap(nic, f.at, f.at + f.duration);
+    }
+    if (!fault_spec.link_flaps.empty()) {
+      network.topology().finalize();  // materialize the lazy link table
+      auto* two_tier = dynamic_cast<net::TwoTierFabric*>(&network.topology());
+      for (const LinkFlapSpec& f : fault_spec.link_flaps) {
+        const int rack = static_cast<int>(f.rack);
+        const net::LinkId id =
+            f.downlink ? two_tier->downlink(rack) : two_tier->uplink(rack);
+        network.topology().add_link_flap(id, f.at, f.at + f.duration);
+      }
+    }
+  }
+
   std::vector<std::unique_ptr<Worker>> workers;
   std::vector<net::EndpointId> worker_eps;
   for (std::size_t w = 0; w < n_workers; ++w) {
     workers.push_back(std::make_unique<Worker>(
         run_cfg, network, static_cast<std::uint32_t>(w)));
     workers.back()->set_tracer(tracer);
+    workers.back()->set_faults(faults.get());
     worker_eps.push_back(network.attach(workers.back().get(),
                                         worker_nics[w]));
   }
@@ -134,8 +199,10 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
   for (std::size_t a = 0; a < n_aggregator_nodes; ++a) {
     aggs.push_back(std::make_unique<Aggregator>(run_cfg, network, n_workers));
     aggs.back()->set_tracer(tracer, telemetry::aggregator_pid(a));
+    aggs.back()->set_faults(faults.get(), a);
     agg_eps.push_back(network.attach(aggs.back().get(), agg_nics[a]));
     aggs.back()->bind(agg_eps.back(), worker_eps);
+    if (faults != nullptr) faults->register_aggregator(agg_eps.back(), a);
   }
 
   // Streams are sharded round-robin across aggregator nodes (§3: each node
@@ -170,20 +237,57 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
       });
     }
   }
+  if (faults != nullptr) {
+    for (const CrashSpec& c : fault_spec.crashes) {
+      Worker* worker = workers[c.worker].get();
+      simulator.schedule_at(c.at, [worker]() { worker->crash(); });
+      if (c.restart_after > 0) {
+        simulator.schedule_at(c.at + c.restart_after,
+                              [worker]() { worker->restart(); });
+      }
+    }
+    // Bounded simulated-time watchdog: whatever else goes wrong, an
+    // unfinished run turns into a structured verdict at this point and the
+    // event queue drains (post-abort, no handler schedules new work).
+    FaultController* fc = faults.get();
+    const sim::Time deadline = fault_spec.watchdog;
+    simulator.schedule_at(deadline, [fc, &workers, deadline]() {
+      if (fc->aborted()) return;
+      for (const auto& w : workers) {
+        if (!w->done()) {
+          fc->watchdog_fired(deadline);
+          return;
+        }
+      }
+    });
+  }
   simulator.run();
   if (sim_events_out != nullptr) *sim_events_out = simulator.events_executed();
 
   RunStats stats;
+  const bool aborted = faults != nullptr && faults->aborted();
+  if (aborted) stats.failure = faults->failure();
   for (const auto& w : workers) {
-    if (!w->done()) {
+    if (!w->done() && !aborted) {
       throw std::logic_error("allreduce did not complete (protocol stall)");
     }
-    stats.worker_finish.push_back(w->finish_time());
+    stats.worker_finish.push_back(w->done() ? w->finish_time() : 0);
     stats.worker_data_bytes.push_back(w->data_bytes_sent());
     stats.retransmissions += w->retransmissions();
     stats.acks += w->acks_sent();
-    stats.completion_time =
-        std::max(stats.completion_time, w->finish_time());
+    if (w->done()) {
+      stats.completion_time =
+          std::max(stats.completion_time, w->finish_time());
+    }
+  }
+  if (aborted) stats.completion_time = stats.failure.at;
+  if (faults != nullptr) {
+    for (const auto& w : workers) {
+      stats.worker_retries.push_back(w->retransmissions());
+      stats.worker_fault_stall_ns.push_back(w->fault_stall());
+      stats.worker_crashes += w->crashes();
+      stats.resyncs += w->resyncs_sent();
+    }
   }
   for (std::size_t a = 0; a < n_aggregator_nodes; ++a) {
     stats.rounds += aggs[a]->rounds_completed();
@@ -199,7 +303,7 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
     tracer->collective_span(0, stats.completion_time, 0);
   }
 
-  if (verify) {
+  if (verify && !aborted) {
     double max_err = 0.0;
     for (const auto& t : tensors) {
       max_err = std::max(max_err, tensor::max_abs_diff(t, reference));
@@ -268,6 +372,18 @@ telemetry::RunReport make_run_report(const std::string& label,
                              ? n_workers
                              : cluster.n_aggregator_nodes;
   report.tensor_elements = n_elements;
+  if (cluster.faults.enabled()) {
+    report.fault_layer = true;
+    report.verdict = verdict_name(stats.failure.verdict);
+    report.failed_peer = stats.failure.peer;
+    report.failed_peer_is_aggregator = stats.failure.peer_is_aggregator;
+    report.failure_at = stats.failure.at;
+    report.failure_detail = stats.failure.detail;
+    report.worker_retries = stats.worker_retries;
+    report.worker_fault_stall_ns = stats.worker_fault_stall_ns;
+    report.worker_crashes = stats.worker_crashes;
+    report.resyncs = stats.resyncs;
+  }
   if (tracer != nullptr) {
     for (std::size_t w = 0; w < n_workers; ++w) {
       report.traced_worker_payload_bytes +=

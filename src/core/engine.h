@@ -7,6 +7,7 @@
 #include "core/aggregator.h"
 #include "core/cluster.h"
 #include "core/config.h"
+#include "core/faults.h"
 #include "core/worker.h"
 #include "device/device_model.h"
 #include "telemetry/report.h"
@@ -30,6 +31,18 @@ struct RunStats {
   /// Per-fabric-link counters (empty on the default ideal switch). For a
   /// Session these are per-collective deltas.
   std::vector<telemetry::LinkReport> links;
+  /// Fault-injection outcome. Default (kCompleted) for unfaulted runs; a
+  /// faulted run either completes exactly or carries a verdict here —
+  /// completion_time is then the time the verdict was declared.
+  FailureInfo failure;
+  /// Fault-layer counters (populated only when ClusterSpec::faults is
+  /// enabled; empty/zero otherwise).
+  std::vector<std::uint64_t> worker_retries;
+  std::vector<sim::Time> worker_fault_stall_ns;
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t resyncs = 0;
+
+  bool completed() const { return !failure.failed(); }
 
   double completion_ms() const { return sim::to_milliseconds(completion_time); }
   /// Mean per-worker transmitted payload (Table 1's "OmniReduce comm.").

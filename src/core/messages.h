@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/message.h"
@@ -69,6 +70,36 @@ struct ResultPacket final : net::Message {
       data_bytes += c.data.size() * value_bytes;
     }
     return data_bytes;
+  }
+};
+
+/// Restarted worker -> aggregator (fault-injection layer): "I lost all
+/// protocol state for `stream`; send me your last emitted result so I can
+/// rebuild my position". Pure control, header-only on the wire.
+struct ResyncRequest final : net::Message {
+  std::uint32_t stream = 0;
+  std::uint32_t wid = 0;
+  std::size_t header_bytes = 64;
+
+  std::size_t wire_bytes() const override { return header_bytes; }
+};
+
+/// Aggregator -> restarted worker: the stream's last emitted ResultPacket
+/// (null when no round has completed yet — the worker then redoes its
+/// bootstrap announcement). The worker rebuilds `my_next` from the result's
+/// request vector: block consumption per column is strictly increasing with
+/// no owned block skipped, so "first owned non-zero block >= request[c]" is
+/// exactly the position it held before crashing.
+struct ResyncResponse final : net::Message {
+  std::uint32_t stream = 0;
+  std::shared_ptr<const ResultPacket> result;  // null: nothing emitted yet
+  std::size_t header_bytes = 64;
+
+  std::size_t wire_bytes() const override {
+    return header_bytes + (result != nullptr ? result->wire_bytes() : 0);
+  }
+  std::size_t payload_bytes() const override {
+    return result != nullptr ? result->payload_bytes() : 0;
   }
 };
 

@@ -23,6 +23,13 @@ Session::Session(const Config& cfg, std::size_t n_workers,
   if (cfg_.fixed_point && cfg_.op != ReduceOp::kSum) {
     throw std::invalid_argument("fixed-point slots support only sum");
   }
+  if (spec_.faults.enabled()) {
+    // Fault injection is per-run state (crash events, verdicts, watchdog)
+    // and is wired by run_allreduce; a long-lived Session would carry it
+    // across collectives. Documented limitation — see docs/ROBUSTNESS.md.
+    throw std::invalid_argument(
+        "fault injection is not supported on Session; use run_allreduce");
+  }
   const FabricConfig& fabric = spec_.fabric;
   if (!fabric.worker_start_offsets.empty() &&
       fabric.worker_start_offsets.size() != n_workers_) {

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
+
+#include "core/faults.h"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -25,6 +28,12 @@ void Worker::start(tensor::DenseTensor& tensor, const StreamLayout& layout,
   tensor_ = &tensor;
   layout_ = &layout;
   device_ = device;
+  if (!alive_) {
+    // Crashed before entering the collective: remember the call and replay
+    // it when the restart event fires.
+    start_pending_ = true;
+    return;
+  }
   if (!cfg_.dense_mode) {
     bitmap_ = tensor::BlockBitmap(tensor.span(), cfg_.block_size);
   }
@@ -185,9 +194,21 @@ void Worker::note_in_flight(std::size_t stream, bool value) {
 
 void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
                          bool is_bootstrap) {
-  const sim::Time ready = std::max(
+  sim::Time ready = std::max(
       {sim_.now(), start_time_, staging_deadline(*pkt)});
   StreamState& st = states_[stream];
+  if (faults_ != nullptr) {
+    // Straggler injection: every fresh packet pays a seeded per-worker
+    // compute delay (retransmissions reuse last_sent and never re-draw,
+    // so the RNG sequence depends only on protocol progress).
+    const sim::Time delay = faults_->compute_delay(wid_);
+    if (delay > 0) {
+      ready += delay;
+      fault_stall_ns_ += delay;
+    }
+    st.attempts = 0;
+    st.pending_since = ready;
+  }
   st.last_sent = pkt;
   for (const ColumnBlock& cb : pkt->columns) {
     data_bytes_sent_ += cb.data.size() * cfg_.value_bytes;
@@ -209,7 +230,11 @@ void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
     net_.send(self_, agg, pkt);
     arm_timer(stream);
   } else {
-    sim_.schedule_at(ready, [this, stream, agg, pkt]() {
+    sim_.schedule_at(ready, [this, stream, agg, pkt, epoch = epoch_]() {
+      // A crash between scheduling and firing voids the send (the epoch
+      // advanced); an aborted run stops pumping so the queue drains.
+      if (epoch != epoch_) return;
+      if (faults_ != nullptr && faults_->aborted()) return;
       net_.send(self_, agg, pkt);
       arm_timer(stream);
     });
@@ -220,14 +245,29 @@ void Worker::arm_timer(std::size_t stream) {
   if (!cfg_.loss_recovery) return;
   StreamState& st = states_[stream];
   if (st.timer != 0) sim_.cancel(st.timer);
-  st.timer = sim_.schedule_after(cfg_.retransmit_timeout,
-                                 [this, stream]() { on_timeout(stream); });
+  const sim::Time timeout =
+      faults_ != nullptr ? faults_->retransmit_timeout(wid_, st.attempts)
+                         : cfg_.retransmit_timeout;
+  st.timer =
+      sim_.schedule_after(timeout, [this, stream]() { on_timeout(stream); });
 }
 
 void Worker::on_timeout(std::size_t stream) {
   StreamState& st = states_[stream];
   st.timer = 0;
   if (st.done || !st.last_sent) return;
+  if (faults_ != nullptr) {
+    if (!alive_ || faults_->aborted()) return;
+    ++st.attempts;
+    if (faults_->give_up(st.attempts, sim_.now() - st.pending_since)) {
+      faults_->declare_aggregator_dead(
+          agg_of_stream_[stream], sim_.now(),
+          "worker " + std::to_string(wid_) + " gave up on stream " +
+              std::to_string(stream) + " after " +
+              std::to_string(st.attempts) + " attempts");
+      return;
+    }
+  }
   ++retransmissions_;
   if (tracer_ != nullptr) {
     tracer_->retransmit_fire(telemetry::worker_pid(wid_), sim_.now(),
@@ -267,6 +307,11 @@ void Worker::send_initial(std::size_t stream) {
 }
 
 void Worker::on_message(net::EndpointId /*from*/, const net::MessagePtr& msg) {
+  if (faults_ != nullptr && (!alive_ || faults_->aborted())) return;
+  if (const auto* resync = dynamic_cast<const ResyncResponse*>(msg.get())) {
+    handle_resync(*resync);
+    return;
+  }
   const auto* result = dynamic_cast<const ResultPacket*>(msg.get());
   if (result == nullptr) {
     throw std::logic_error("worker received non-result message");
@@ -277,6 +322,12 @@ void Worker::on_message(net::EndpointId /*from*/, const net::MessagePtr& msg) {
 void Worker::handle_result(const ResultPacket& r) {
   StreamState& st = states_[r.stream];
   if (st.done) return;  // duplicate final result (Algorithm 2 retransmission)
+  if (st.resyncing) {
+    // A pre-crash result raced our ResyncRequest. Per-pair FIFO delivery
+    // guarantees the ResyncResponse carries protocol state at least as new
+    // as this packet — drop it and let the response rebuild everything.
+    return;
+  }
   if (cfg_.loss_recovery && r.ver != st.expect_ver) {
     // Stale duplicate of an already-processed result (our spurious timeout
     // triggered an aggregator resend). Responding to it with our *current*
@@ -290,6 +341,7 @@ void Worker::handle_result(const ResultPacket& r) {
     sim_.cancel(st.timer);
     st.timer = 0;
   }
+  st.attempts = 0;
   note_in_flight(r.stream, false);
   if (tracer_ != nullptr) {
     tracer_->round_advance(telemetry::worker_pid(wid_), sim_.now(), r.stream,
@@ -332,6 +384,103 @@ void Worker::handle_result(const ResultPacket& r) {
     // payload-less ack when no requested block is owned.
     send_packet(r.stream, std::move(pkt));
   }
+}
+
+void Worker::crash() {
+  if (!alive_ || done()) return;
+  alive_ = false;
+  ++crashes_;
+  ++epoch_;  // void every deferred send scheduled before the crash
+  if (tracer_ != nullptr) {
+    tracer_->worker_crash(telemetry::worker_pid(wid_), sim_.now());
+  }
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    StreamState& st = states_[s];
+    if (st.timer != 0) {
+      sim_.cancel(st.timer);
+      st.timer = 0;
+    }
+    note_in_flight(s, false);
+    st.last_sent.reset();  // may still be shared with the network: no pool
+    st.resyncing = false;
+    st.attempts = 0;
+  }
+}
+
+void Worker::restart() {
+  if (alive_) return;
+  alive_ = true;
+  if (tracer_ != nullptr) {
+    tracer_->worker_restart(telemetry::worker_pid(wid_), sim_.now());
+  }
+  if (start_pending_) {
+    // The collective began while we were down: enter it from scratch.
+    start_pending_ = false;
+    start(*tensor_, *layout_, device_);
+    return;
+  }
+  if (tensor_ == nullptr) return;  // crashed and restarted before start()
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    if (!states_[s].done) send_resync(s);
+  }
+}
+
+void Worker::send_resync(std::size_t stream) {
+  StreamState& st = states_[stream];
+  st.resyncing = true;
+  auto req = std::make_shared<ResyncRequest>();
+  req->stream = static_cast<std::uint32_t>(stream);
+  req->wid = wid_;
+  req->header_bytes = cfg_.header_bytes;
+  st.last_sent = req;  // the retransmission timer re-sends the request
+  st.attempts = 0;
+  st.pending_since = sim_.now();
+  ++resyncs_sent_;
+  if (tracer_ != nullptr) {
+    tracer_->resync(telemetry::worker_pid(wid_), sim_.now(),
+                    static_cast<std::uint32_t>(stream));
+  }
+  note_in_flight(stream, true);
+  net_.send(self_, agg_of_stream_[stream], req);
+  arm_timer(stream);
+}
+
+void Worker::handle_resync(const ResyncResponse& res) {
+  StreamState& st = states_[res.stream];
+  if (!st.resyncing || st.done) return;  // stale duplicate
+  st.resyncing = false;
+  if (st.timer != 0) {
+    sim_.cancel(st.timer);
+    st.timer = 0;
+  }
+  note_in_flight(res.stream, false);
+  st.last_sent.reset();
+  st.attempts = 0;
+  if (res.result == nullptr) {
+    // No round of this stream has completed yet: our pre-crash position was
+    // the bootstrap announcement — redo it.
+    st.my_next.assign(layout_->streams[res.stream].columns, tensor::kNoBlock);
+    send_initial(res.stream);
+    return;
+  }
+  // Rebuild `my_next` from the result's request vector. Block consumption
+  // per column is strictly increasing and no owned block is ever skipped,
+  // so "first owned non-zero block >= request[c]" is exactly the position
+  // we held when the aggregator emitted this result; blocks at or past it
+  // still hold original gradient data (their round has not completed).
+  const ResultPacket& r = *res.result;
+  const auto width = static_cast<tensor::BlockIndex>(layout_->width);
+  st.my_next.resize(r.request.size());
+  for (std::size_t c = 0; c < r.request.size(); ++c) {
+    st.my_next[c] = r.request[c] == tensor::kNoBlock
+                        ? tensor::kNoBlock
+                        : scan_next(res.stream, c, r.request[c] - width);
+  }
+  st.expect_ver = r.ver;
+  // Replay the result: (re)writes its aggregated blocks — idempotent — and
+  // contributes whatever we own of the request vector. The aggregator's
+  // per-worker seen[] dedups contributions it already counted.
+  handle_result(r);
 }
 
 void Worker::note_stream_done(std::size_t stream) {

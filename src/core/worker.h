@@ -15,6 +15,8 @@
 
 namespace omr::core {
 
+class FaultController;
+
 /// OmniReduce worker: runs Algorithm 1 (reliable fabric) or Algorithm 2
 /// (lossy fabric: ack packets, retransmission timers, alternating slot
 /// versions) for every stream of the layout, with Block Fusion. The input
@@ -31,6 +33,23 @@ class Worker final : public net::Endpoint {
   /// Opt-in instrumentation (nullptr = disabled, the default: every hook
   /// site is one pointer compare). Events land on lane worker_pid(wid).
   void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attach the fault-injection controller (nullptr = disabled, the
+  /// default: the unfaulted code path runs byte-identically). Enables
+  /// straggler compute delays, adaptive retransmission backoff, give-up
+  /// escalation and crash/restart with resync.
+  void set_faults(FaultController* faults) { faults_ = faults; }
+
+  /// Fault injection: kill the worker now. All protocol state and timers
+  /// for unfinished streams are discarded; in-flight messages addressed to
+  /// the worker are dropped on arrival. The tensor (device memory) and
+  /// already-completed streams survive.
+  void crash();
+  /// Fault injection: bring a crashed worker back. Every unfinished stream
+  /// re-enters the protocol through a ResyncRequest handshake that rebuilds
+  /// its pre-crash position from the aggregator's last emitted result.
+  void restart();
+  bool alive() const { return alive_; }
 
   /// Begin the collective: computes the non-zero-block bitmap (charging the
   /// device-model cost), then sends the initial packet of every stream.
@@ -52,6 +71,11 @@ class Worker final : public net::Endpoint {
   /// Payload-less bootstrap announcements (one per stream).
   std::uint64_t announcements_sent() const { return announcements_sent_; }
   std::uint64_t retransmissions() const { return retransmissions_; }
+  /// Fault-layer counters (cumulative over the worker's lifetime).
+  std::uint64_t crashes() const { return crashes_; }
+  std::uint64_t resyncs_sent() const { return resyncs_sent_; }
+  /// Total injected straggler compute delay (ns of virtual time).
+  sim::Time fault_stall() const { return fault_stall_ns_; }
 
  private:
   struct StreamState {
@@ -61,6 +85,9 @@ class Worker final : public net::Endpoint {
     bool in_flight = false;  // a packet of ours awaits a result (telemetry)
     net::MessagePtr last_sent;  // retransmission buffer (Algorithm 2)
     sim::EventId timer = 0;
+    bool resyncing = false;  // a ResyncRequest awaits its response
+    std::uint32_t attempts = 0;       // timeouts since the last fresh send
+    sim::Time pending_since = 0;      // when the outstanding packet left
   };
 
   void handle_result(const ResultPacket& r);
@@ -85,6 +112,9 @@ class Worker final : public net::Endpoint {
   void arm_timer(std::size_t stream);
   void on_timeout(std::size_t stream);
   void send_initial(std::size_t stream);
+  /// Post-restart: ask the stream's aggregator for its last emitted result.
+  void send_resync(std::size_t stream);
+  void handle_resync(const ResyncResponse& res);
   void note_stream_done(std::size_t stream);
   /// Staging deadline: earliest time the data of `pkt` is host-resident.
   sim::Time staging_deadline(const DataPacket& pkt) const;
@@ -100,7 +130,14 @@ class Worker final : public net::Endpoint {
   net::EndpointId self_ = -1;
   std::vector<net::EndpointId> agg_of_stream_;
   telemetry::Tracer* tracer_ = nullptr;
+  FaultController* faults_ = nullptr;
   std::size_t in_flight_slots_ = 0;
+  bool alive_ = true;
+  bool start_pending_ = false;  // crashed before start(); replay on restart
+  std::uint64_t epoch_ = 0;     // bumped per crash; voids deferred sends
+  std::uint64_t crashes_ = 0;
+  std::uint64_t resyncs_sent_ = 0;
+  sim::Time fault_stall_ns_ = 0;
 
   tensor::DenseTensor* tensor_ = nullptr;
   const StreamLayout* layout_ = nullptr;

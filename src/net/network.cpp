@@ -58,6 +58,20 @@ void Network::add_external_traffic(NicId nic, std::uint64_t tx_bytes,
   s.rx_messages += rx_messages;
 }
 
+void Network::add_nic_flap(NicId nic, sim::Time from, sim::Time until) {
+  if (nic < 0 || nic >= static_cast<NicId>(nics_.size())) {
+    throw std::out_of_range("unknown NIC");
+  }
+  nic_flaps_.push_back(NicFlap{nic, from, until});
+}
+
+bool Network::nic_down(NicId nic, sim::Time t) const {
+  for (const NicFlap& f : nic_flaps_) {
+    if (f.nic == nic && t >= f.from && t < f.until) return true;
+  }
+  return false;
+}
+
 sim::Time Network::tx_serialize(NicId nic_id, std::size_t bytes,
                                 std::size_t payload_bytes) {
   Nic& nic = nics_[nic_id];
@@ -81,6 +95,15 @@ sim::Time Network::traverse_path(NicId src_nic, NicId dst_nic,
   sim::Time t = departure + path.ingress_latency;
   for (LinkId id : path.links) {
     Link& link = topo_->link(id);
+    if (!link.down.empty() && link.is_down(t)) {
+      // Flapping link (fault injection): the outage eats the message
+      // before any loss draw, so a flap never perturbs the seeded loss
+      // process sequence of messages outside its window.
+      link.stats.dropped_messages += 1;
+      ++total_dropped_;
+      if (tracer_ != nullptr) tracer_->link_drop(id, t, bytes);
+      return -1;
+    }
     if (!link.loss.lossless() && link.loss.drop(link.loss_rng)) {
       link.stats.dropped_messages += 1;
       ++total_dropped_;
@@ -113,6 +136,20 @@ sim::Time Network::traverse_path(NicId src_nic, NicId dst_nic,
 void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
                       sim::Time departure, std::size_t bytes,
                       std::size_t payload_bytes) {
+  if (!nic_flaps_.empty() && nic_down(endpoints_[src].nic, departure)) {
+    // Sender's NIC is flapped at wire departure: the message never enters
+    // the fabric, so link loss processes see an unchanged draw sequence.
+    nics_[endpoints_[src].nic].stats.dropped_messages += 1;
+    ++total_dropped_;
+    if (trace_ != nullptr) {
+      trace_->push_back({departure, 0, src, dst,
+                         static_cast<std::uint32_t>(bytes), true});
+    }
+    if (tracer_ != nullptr) {
+      tracer_->message_drop(endpoints_[src].nic, departure, bytes, dst);
+    }
+    return;
+  }
   const sim::Time arrival = traverse_path(endpoints_[src].nic,
                                           endpoints_[dst].nic, departure,
                                           bytes, payload_bytes);
@@ -120,6 +157,18 @@ void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
     if (trace_ != nullptr) {
       trace_->push_back({departure, 0, src, dst,
                          static_cast<std::uint32_t>(bytes), true});
+    }
+    return;
+  }
+  if (!nic_flaps_.empty() && nic_down(endpoints_[dst].nic, arrival)) {
+    nics_[endpoints_[dst].nic].stats.dropped_messages += 1;
+    ++total_dropped_;
+    if (trace_ != nullptr) {
+      trace_->push_back({departure, 0, src, dst,
+                         static_cast<std::uint32_t>(bytes), true});
+    }
+    if (tracer_ != nullptr) {
+      tracer_->message_drop(endpoints_[dst].nic, arrival, bytes, dst);
     }
     return;
   }

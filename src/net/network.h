@@ -105,6 +105,11 @@ class Network {
   /// applied once per delivery at the fabric like the Bernoulli model.
   void set_loss_model(const LossProcess& loss) { fabric_loss_ = loss; }
 
+  /// Schedule a NIC outage window (fault injection): every message leaving
+  /// the NIC during [from, until) — judged at wire departure — or arriving
+  /// at it is dropped. No windows (the default) costs nothing per message.
+  void add_nic_flap(NicId nic, sim::Time from, sim::Time until);
+
   /// Unicast `msg` from `src` to `dst`.
   void send(EndpointId src, EndpointId dst, MessagePtr msg);
 
@@ -172,6 +177,8 @@ class Network {
   void deliver(EndpointId src, EndpointId dst, MessagePtr msg,
                sim::Time departure, std::size_t bytes,
                std::size_t payload_bytes);
+  /// True when `nic` sits inside a flap window at time `t`.
+  bool nic_down(NicId nic, sim::Time t) const;
 
   sim::Simulator& sim_;
   std::unique_ptr<Topology> topo_;
@@ -180,6 +187,12 @@ class Network {
   double loss_rate_ = 0.0;
   LossProcess fabric_loss_;
   std::uint64_t total_dropped_ = 0;
+  struct NicFlap {
+    NicId nic = -1;
+    sim::Time from = 0;
+    sim::Time until = 0;
+  };
+  std::vector<NicFlap> nic_flaps_;  // few entries; linear scan when non-empty
   std::vector<TraceEvent>* trace_ = nullptr;
   telemetry::Tracer* tracer_ = nullptr;
   std::vector<bool> link_lane_named_;  // tracer lane names, set lazily

@@ -112,6 +112,16 @@ struct Link {
   sim::Rng loss_rng{0};       // reseeded by Network at bind time
   sim::Time busy_until = 0;   // FIFO serialization cursor
   LinkStats stats;
+  /// Scheduled outage windows [from, until): the link drops every message
+  /// reaching it inside one (fault injection; empty = always up).
+  std::vector<std::pair<sim::Time, sim::Time>> down;
+
+  bool is_down(sim::Time t) const {
+    for (const auto& [from, until] : down) {
+      if (t >= from && t < until) return true;
+    }
+    return false;
+  }
 };
 
 /// The fabric path between a sender's TX serialization and a receiver's RX
@@ -145,6 +155,17 @@ class Topology {
   /// reference into topology-owned storage.
   virtual const Path& route(NicId src, NicId dst) = 0;
 
+  /// Force lazily-built topologies to materialize their links now (no-op
+  /// for eagerly-built ones). Needed before traffic when link ids must be
+  /// resolved up front — e.g. to schedule link flaps on rack uplinks.
+  virtual void finalize() {}
+
+  /// Schedule an outage window on one link (fault injection): every
+  /// message reaching the link during [from, until) is dropped.
+  void add_link_flap(LinkId id, sim::Time from, sim::Time until) {
+    link(id).down.emplace_back(from, until);
+  }
+
   std::size_t num_links() const { return links_.size(); }
   Link& link(LinkId id) { return links_[static_cast<std::size_t>(id)]; }
   const Link& link(LinkId id) const {
@@ -167,7 +188,7 @@ class Topology {
  protected:
   LinkId add_link(LinkConfig cfg, LossProcess loss = {}) {
     links_.push_back(
-        Link{std::move(cfg), loss, link_rng(links_.size()), 0, {}});
+        Link{std::move(cfg), loss, link_rng(links_.size()), 0, {}, {}});
     return static_cast<LinkId>(links_.size() - 1);
   }
 
@@ -236,6 +257,9 @@ class TwoTierFabric final : public Topology {
   void add_nic(NicId nic, double tx_bandwidth_bps,
                double rx_bandwidth_bps) override;
   const Path& route(NicId src, NicId dst) override;
+  void finalize() override {
+    if (!frozen_) freeze();
+  }
 
   int rack_of(NicId nic) const;
   std::size_t n_racks() const { return cfg_.n_racks; }

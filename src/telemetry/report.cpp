@@ -89,6 +89,23 @@ void RunReport::write_json(std::ostream& os, bool include_trace) const {
   write_histogram(os, round_gap_ns);
   os << "}";
 
+  if (fault_layer) {
+    os << ",\"fault\":{\"verdict\":\"";
+    write_escaped(os, verdict);
+    os << "\",\"completed\":" << (verdict == "completed" ? "true" : "false")
+       << ",\"failed_peer\":" << failed_peer
+       << ",\"failed_peer_is_aggregator\":"
+       << (failed_peer_is_aggregator ? "true" : "false")
+       << ",\"failure_at_ns\":" << failure_at << ",\"detail\":\"";
+    write_escaped(os, failure_detail);
+    os << "\",\"worker_crashes\":" << worker_crashes
+       << ",\"resyncs\":" << resyncs << ",\"worker_retries\":";
+    write_array(os, worker_retries);
+    os << ",\"worker_fault_stall_ns\":";
+    write_array(os, worker_fault_stall_ns);
+    os << "}";
+  }
+
   if (!links.empty()) {
     os << ",\"links\":[";
     for (std::size_t i = 0; i < links.size(); ++i) {

@@ -68,6 +68,21 @@ struct RunReport {
   /// pre-topology runs.
   std::vector<LinkReport> links;
 
+  // --- fault-injection outcome (ClusterSpec::faults) -----------------------
+  /// True when the run carried an active FaultSpec; the "fault" JSON
+  /// section is serialized only then, so unfaulted reports stay
+  /// byte-identical to pre-fault-layer runs.
+  bool fault_layer = false;
+  std::string verdict = "completed";  // core::verdict_name of the outcome
+  std::int32_t failed_peer = -1;
+  bool failed_peer_is_aggregator = false;
+  sim::Time failure_at = 0;
+  std::string failure_detail;
+  std::vector<std::uint64_t> worker_retries;
+  std::vector<sim::Time> worker_fault_stall_ns;
+  std::uint64_t worker_crashes = 0;
+  std::uint64_t resyncs = 0;
+
   /// Full event timeline (empty unless TelemetryConfig::trace_events).
   Trace trace;
 

@@ -21,6 +21,10 @@ const char* event_name(EventKind kind) {
     case EventKind::kCollective: return "collective";
     case EventKind::kLinkTx: return "link_tx";
     case EventKind::kLinkDrop: return "link_drop";
+    case EventKind::kWorkerCrash: return "worker_crash";
+    case EventKind::kWorkerRestart: return "worker_restart";
+    case EventKind::kResync: return "resync";
+    case EventKind::kPeerDead: return "peer_dead";
   }
   return "unknown";
 }
@@ -206,6 +210,24 @@ void Tracer::collective_span(sim::Time begin, sim::Time end,
                              std::uint64_t index) {
   record({EventKind::kCollective, begin, end - begin, kDriverPid,
           kTidProtocol, 0, index, 0});
+}
+
+void Tracer::worker_crash(std::int32_t pid, sim::Time ts) {
+  record({EventKind::kWorkerCrash, ts, 0, pid, kTidProtocol, 0, 0, 0});
+}
+
+void Tracer::worker_restart(std::int32_t pid, sim::Time ts) {
+  record({EventKind::kWorkerRestart, ts, 0, pid, kTidProtocol, 0, 0, 0});
+}
+
+void Tracer::resync(std::int32_t pid, sim::Time ts, std::uint32_t stream) {
+  record({EventKind::kResync, ts, 0, pid, kTidProtocol, stream, 0, 0});
+}
+
+void Tracer::peer_dead(sim::Time ts, std::uint64_t peer,
+                       std::uint64_t peer_is_aggregator) {
+  record({EventKind::kPeerDead, ts, 0, kDriverPid, kTidProtocol, 0, peer,
+          peer_is_aggregator});
 }
 
 void Tracer::counter_sample(std::int32_t pid, const char* name, sim::Time ts,

@@ -27,9 +27,13 @@ enum class EventKind : std::uint8_t {
   kCollective,       // span: one whole collective on the driver lane
   kLinkTx,           // span: store-and-forward serialization on a fabric link
   kLinkDrop,         // instant: a fabric link's loss process ate the message
+  kWorkerCrash,      // instant: fault injection crashed a worker
+  kWorkerRestart,    // instant: a crashed worker restarted (resync begins)
+  kResync,           // instant: a block-level state resync request was sent
+  kPeerDead,         // instant: liveness/watchdog verdict (driver lane)
 };
 
-inline constexpr std::size_t kNumEventKinds = 13;
+inline constexpr std::size_t kNumEventKinds = 17;
 
 /// Stable snake_case names used as the `name` field of the Chrome trace.
 const char* event_name(EventKind kind);
@@ -176,6 +180,15 @@ class Tracer {
                      std::uint64_t round);
   void ack_tx(std::int32_t pid, sim::Time ts, std::uint32_t stream);
   void collective_span(sim::Time begin, sim::Time end, std::uint64_t index);
+
+  // --- fault/recovery hooks (fault-injection layer) ----------------------
+  void worker_crash(std::int32_t pid, sim::Time ts);
+  void worker_restart(std::int32_t pid, sim::Time ts);
+  void resync(std::int32_t pid, sim::Time ts, std::uint32_t stream);
+  /// Failure verdict on the driver lane. `peer` is the dead worker id /
+  /// aggregator node (static_cast<uint64_t>(-1) for a watchdog verdict).
+  void peer_dead(sim::Time ts, std::uint64_t peer,
+                 std::uint64_t peer_is_aggregator);
 
   /// Occupancy-style sampled counter (e.g. worker in-flight slots).
   void counter_sample(std::int32_t pid, const char* name, sim::Time ts,

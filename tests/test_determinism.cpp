@@ -120,6 +120,53 @@ TEST(Determinism, TwoTierRunsAreBitIdentical) {
   }
 }
 
+// Fault-schedule golden pins: straggler draws, backoff jitter, crash/resync
+// timing and liveness deadlines are all seeded, so a FaultSpec replays
+// bit-identically — and these exact statistics must survive refactors of
+// the fault layer just like the fabric pins above survive fabric work.
+
+TEST(Determinism, StragglerScheduleMatchesGolden) {
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cluster.faults.stragglers.mean_delay_ns = 20000.0;
+  const RunStats a = run_once(s);
+  expect_identical(a, run_once(s));
+  ASSERT_TRUE(a.completed());
+  EXPECT_EQ(a.completion_time, 473036);
+  EXPECT_EQ(a.worker_finish,
+            (std::vector<sim::Time>{470414, 471288, 472162, 473036}));
+  EXPECT_EQ(a.total_messages, 1176u);
+  EXPECT_EQ(a.rounds, 375u);
+  EXPECT_EQ(a.worker_fault_stall_ns,
+            (std::vector<sim::Time>{5617803, 6258407, 6115003, 5572876}));
+  EXPECT_EQ(a.worker_crashes, 0u);
+  EXPECT_EQ(a.resyncs, 0u);
+}
+
+TEST(Determinism, CrashRestartScheduleMatchesGolden) {
+  RunSetup s = make_setup(Transport::kDpdk, 0.01);
+  s.cluster.faults.crashes.push_back(
+      {2, sim::microseconds(300), sim::microseconds(150)});
+  const RunStats a = run_once(s);
+  const RunStats b = run_once(s);
+  expect_identical(a, b);
+  EXPECT_EQ(a.resyncs, b.resyncs);
+  EXPECT_EQ(a.worker_retries, b.worker_retries);
+  ASSERT_TRUE(a.completed());
+  EXPECT_EQ(a.completion_time, 3096816);
+  EXPECT_EQ(a.worker_finish,
+            (std::vector<sim::Time>{1419974, 1420851, 1593287, 3096816}));
+  EXPECT_EQ(a.total_messages, 1683u);
+  EXPECT_EQ(a.retransmissions, 42u);
+  EXPECT_EQ(a.dropped_messages, 34u);
+  EXPECT_EQ(a.rounds, 375u);
+  EXPECT_EQ(a.acks, 332u);
+  EXPECT_EQ(a.duplicate_resends, 20u);
+  EXPECT_EQ(a.worker_crashes, 1u);
+  EXPECT_EQ(a.resyncs, 125u);
+  EXPECT_EQ(a.worker_retries,
+            (std::vector<std::uint64_t>{15, 13, 2, 12}));
+}
+
 TEST(Determinism, BurstLossRunsAreBitIdentical) {
   RunSetup s = make_setup(Transport::kDpdk, 0.0);
   s.cfg.retransmit_timeout = sim::microseconds(500);
