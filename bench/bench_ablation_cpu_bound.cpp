@@ -7,7 +7,7 @@
 // per aggregator machine) without affecting the high-sparsity regime much.
 #include <cstdio>
 
-#include "baselines/ring.h"
+#include "bench/registry_util.h"
 #include "bench/bench_util.h"
 #include "core/engine.h"
 #include "sim/rng.h"
@@ -44,9 +44,9 @@ int main() {
   sim::Rng rng(1);
   auto ring_in = tensor::make_multi_worker(8, n, 256, 0.0,
                                            tensor::OverlapMode::kRandom, rng);
-  baselines::BaselineConfig bc;
   const double nccl = sim::to_milliseconds(
-      baselines::ring_allreduce(ring_in, bc, false).completion_time);
+      bench::registry_run("ring", ring_in, bench::flat_cluster(10e9, 1))
+          .completion_time);
   std::printf("NCCL ring reference: %.2f ms (%.1f MB)\n\n", nccl, n * 4.0 / 1e6);
   bench::row({"rx cost[ns/pkt]", "O,0%[ms]", "O,90%[ms]", "O,99%[ms]"});
   for (double rx : {0.0, 400.0, 800.0, 1200.0, 2000.0}) {

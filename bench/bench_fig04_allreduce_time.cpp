@@ -4,8 +4,8 @@
 // line rate.
 #include <cstdio>
 
-#include "baselines/ring.h"
 #include "bench/bench_util.h"
+#include "bench/registry_util.h"
 #include "core/engine.h"
 #include "perfmodel/perfmodel.h"
 #include "sim/rng.h"
@@ -59,11 +59,8 @@ double run_nccl(double bandwidth, std::size_t workers, std::size_t n,
   sim::Rng rng(seed);
   auto tensors = tensor::make_multi_worker(workers, n, 256, 0.0,
                                            tensor::OverlapMode::kRandom, rng);
-  baselines::BaselineConfig cfg;
-  cfg.bandwidth_bps = bandwidth;
-  cfg.seed = seed;
   return sim::to_milliseconds(
-      baselines::ring_allreduce(tensors, cfg, /*verify=*/false)
+      bench::registry_run("ring", tensors, bench::flat_cluster(bandwidth, seed))
           .completion_time);
 }
 

@@ -4,10 +4,8 @@
 #include <array>
 #include <cstdio>
 
-#include "baselines/parameter_server.h"
-#include "baselines/ring.h"
-#include "baselines/switchml.h"
 #include "bench/bench_util.h"
+#include "bench/registry_util.h"
 #include "core/engine.h"
 #include "sim/rng.h"
 #include "tensor/generators.h"
@@ -46,11 +44,9 @@ double omni(std::size_t n, double s, bool gdr, bool colocated,
 
 double nccl(std::size_t n, bool gdr, std::uint64_t seed) {
   auto ts = make(n, 0.0, seed);  // NCCL sends dense regardless of sparsity
-  baselines::BaselineConfig cfg;
-  cfg.bandwidth_bps = kBw;
-  cfg.seed = seed;
   double ms = sim::to_milliseconds(
-      baselines::ring_allreduce(ts, cfg, /*verify=*/false).completion_time);
+      bench::registry_run("ring", ts, bench::flat_cluster(kBw, seed))
+          .completion_time);
   if (!gdr) {
     // Staged copies put a PCIe floor under the ring as well.
     device::DeviceModel dev;
@@ -61,24 +57,22 @@ double nccl(std::size_t n, bool gdr, std::uint64_t seed) {
 
 double byteps(std::size_t n, std::uint64_t seed) {
   auto ts = make(n, 0.0, seed);
-  baselines::BaselineConfig cfg;
-  cfg.bandwidth_bps = kBw;
-  cfg.seed = seed;
-  // BytePS benchmarked with servers colocated on the worker machines.
+  // BytePS benchmarked with servers colocated on the worker machines: the
+  // "ps" adapter shards one server per worker NIC under kColocated.
+  core::ClusterSpec cluster = bench::flat_cluster(kBw, seed);
+  cluster.deployment = core::Deployment::kColocated;
   return sim::to_milliseconds(
-      baselines::ps_dense_allreduce(ts, cfg, kWorkers, /*colocated=*/true,
-                                    /*verify=*/false)
-          .completion_time);
+      bench::registry_run("ps", ts, cluster).completion_time);
 }
 
 double switchml(std::size_t n, std::uint64_t seed) {
   auto ts = make(n, 0.0, seed);
-  core::FabricConfig fabric;
-  fabric.worker_bandwidth_bps = kBw;
-  fabric.aggregator_bandwidth_bps = kBw;
-  fabric.seed = seed;
+  core::ClusterSpec cluster = bench::flat_cluster(kBw, seed);
+  cluster.n_aggregator_nodes = kWorkers;
   return sim::to_milliseconds(
-      baselines::switchml_allreduce(ts, fabric, kWorkers).completion_time);
+      bench::registry_run("switchml", ts, cluster,
+                          core::Config::for_transport(core::Transport::kRdma))
+          .completion_time);
 }
 
 }  // namespace

@@ -4,14 +4,10 @@
 #include <array>
 #include <cstdio>
 
-#include "baselines/agsparse.h"
-#include "baselines/parameter_server.h"
-#include "baselines/ring.h"
-#include "baselines/sparcml.h"
 #include "bench/bench_util.h"
+#include "bench/registry_util.h"
 #include "core/engine.h"
 #include "sim/rng.h"
-#include "tensor/coo.h"
 #include "tensor/generators.h"
 
 using namespace omr;
@@ -26,21 +22,6 @@ std::vector<tensor::DenseTensor> make(std::size_t n, double s,
   sim::Rng rng(seed);
   return tensor::make_multi_worker(kWorkers, n, 256, s,
                                    tensor::OverlapMode::kRandom, rng);
-}
-
-std::vector<tensor::CooTensor> to_coo(
-    const std::vector<tensor::DenseTensor>& dense) {
-  std::vector<tensor::CooTensor> coo;
-  coo.reserve(dense.size());
-  for (const auto& t : dense) coo.push_back(tensor::dense_to_coo(t));
-  return coo;
-}
-
-baselines::BaselineConfig bcfg(std::uint64_t seed) {
-  baselines::BaselineConfig cfg;
-  cfg.bandwidth_bps = kBw;
-  cfg.seed = seed;
-  return cfg;
 }
 
 double omni(std::size_t n, double s, core::Transport t, bool colocated,
@@ -60,21 +41,13 @@ double omni(std::size_t n, double s, core::Transport t, bool colocated,
           .completion_time);
 }
 
-double sparcml_s(std::size_t n, double s, std::uint64_t cfg_seed,
-                 baselines::SparcmlVariant variant) {
-  const auto coo = to_coo(make(n, s, 1));
-  tensor::CooTensor out;
+/// Registry dispatch on fresh tensors: generation seed 1 (matching the old
+/// serial program), fabric seed = cfg_seed.
+double registry_s(const char* algo, std::size_t n, double s,
+                  std::uint64_t cfg_seed) {
+  auto ts = make(n, s, 1);
   return sim::to_seconds(
-      baselines::sparcml_allreduce(coo, out, bcfg(cfg_seed), variant)
-          .completion_time);
-}
-
-double agsparse_s(std::size_t n, double s, std::uint64_t cfg_seed,
-                  baselines::AgStack stack) {
-  const auto coo = to_coo(make(n, s, 1));
-  std::vector<tensor::CooTensor> outs;
-  return sim::to_seconds(
-      baselines::agsparse_allreduce(coo, outs, bcfg(cfg_seed), stack)
+      bench::registry_run(algo, ts, bench::flat_cluster(kBw, cfg_seed))
           .completion_time);
 }
 
@@ -97,27 +70,15 @@ int main() {
   std::vector<std::array<std::size_t, 9>> rows;
   for (double s : kSparsities) {
     std::array<std::size_t, 9> c{};
-    c[0] = sweep.add_value([n, s] {
-      auto ring_copy = make(n, s, 1);
-      return sim::to_seconds(
-          baselines::ring_allreduce(ring_copy, bcfg(1), false)
-              .completion_time);
-    });
-    c[1] = sweep.add_value([n, s] {
-      return sparcml_s(n, s, 2, baselines::SparcmlVariant::kSsarSplitAllgather);
-    });
-    c[2] = sweep.add_value([n, s] {
-      return sparcml_s(n, s, 3, baselines::SparcmlVariant::kDsarSplitAllgather);
-    });
-    c[3] = sweep.add_value(
-        [n, s] { return agsparse_s(n, s, 4, baselines::AgStack::kNccl); });
+    c[0] = sweep.add_value([n, s] { return registry_s("ring", n, s, 1); });
+    c[1] = sweep.add_value(
+        [n, s] { return registry_s("sparcml_ssar", n, s, 2); });
+    c[2] = sweep.add_value(
+        [n, s] { return registry_s("sparcml_dsar", n, s, 3); });
+    c[3] = sweep.add_value([n, s] { return registry_s("agsparse", n, s, 4); });
     c[4] = sweep.add_value(
-        [n, s] { return agsparse_s(n, s, 5, baselines::AgStack::kGloo); });
-    c[5] = sweep.add_value([n, s] {
-      const auto dense = make(n, s, 1);
-      return sim::to_seconds(
-          baselines::parallax_allreduce(dense, bcfg(6)).completion_time);
-    });
+        [n, s] { return registry_s("agsparse_gloo", n, s, 5); });
+    c[5] = sweep.add_value([n, s] { return registry_s("parallax", n, s, 6); });
     c[6] = sweep.add_value(
         [n, s] { return omni(n, s, core::Transport::kRdma, false, 7); });
     c[7] = sweep.add_value(

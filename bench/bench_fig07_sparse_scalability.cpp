@@ -3,14 +3,10 @@
 #include <array>
 #include <cstdio>
 
-#include "baselines/agsparse.h"
-#include "baselines/parameter_server.h"
-#include "baselines/ring.h"
-#include "baselines/sparcml.h"
 #include "bench/bench_util.h"
+#include "bench/registry_util.h"
 #include "core/engine.h"
 #include "sim/rng.h"
-#include "tensor/coo.h"
 #include "tensor/generators.h"
 
 using namespace omr;
@@ -26,36 +22,13 @@ std::vector<tensor::DenseTensor> make(std::size_t workers, std::size_t n,
                                    tensor::OverlapMode::kRandom, rng);
 }
 
-std::vector<tensor::CooTensor> make_coo(std::size_t workers, std::size_t n,
-                                        double s, std::uint64_t seed) {
-  std::vector<tensor::CooTensor> coo;
-  for (const auto& t : make(workers, n, s, seed)) {
-    coo.push_back(tensor::dense_to_coo(t));
-  }
-  return coo;
-}
-
-baselines::BaselineConfig bcfg() {
-  baselines::BaselineConfig bc;
-  bc.bandwidth_bps = kBw;
-  return bc;
-}
-
-double sparcml_s(std::size_t workers, std::size_t n, double s,
-                 baselines::SparcmlVariant variant) {
-  const auto coo = make_coo(workers, n, s, workers);
-  tensor::CooTensor out;
+/// Registry dispatch on fresh tensors: generation seed = workers (matching
+/// the old serial loop), fabric at the BaselineConfig default seed 1.
+double registry_s(const char* algo, std::size_t workers, std::size_t n,
+                  double s) {
+  auto ts = make(workers, n, s, workers);
   return sim::to_seconds(
-      baselines::sparcml_allreduce(coo, out, bcfg(), variant)
-          .completion_time);
-}
-
-double agsparse_s(std::size_t workers, std::size_t n, double s,
-                  baselines::AgStack stack) {
-  const auto coo = make_coo(workers, n, s, workers);
-  std::vector<tensor::CooTensor> outs;
-  return sim::to_seconds(
-      baselines::agsparse_allreduce(coo, outs, bcfg(), stack)
+      bench::registry_run(algo, ts, bench::flat_cluster(kBw, 1))
           .completion_time);
 }
 
@@ -75,31 +48,21 @@ int main() {
   for (double s : kSparsities) {
     for (std::size_t workers : kWorkerGrid) {
       std::array<std::size_t, 7> c{};
-      c[0] = sweep.add_value([workers, n, s] {
-        auto ring_copy = make(workers, n, s, workers);
-        return sim::to_seconds(
-            baselines::ring_allreduce(ring_copy, bcfg(), false)
-                .completion_time);
-      });
+      c[0] = sweep.add_value(
+          [workers, n, s] { return registry_s("ring", workers, n, s); });
       c[1] = sweep.add_value([workers, n, s] {
-        return sparcml_s(workers, n, s,
-                         baselines::SparcmlVariant::kSsarSplitAllgather);
+        return registry_s("sparcml_ssar", workers, n, s);
       });
       c[2] = sweep.add_value([workers, n, s] {
-        return sparcml_s(workers, n, s,
-                         baselines::SparcmlVariant::kDsarSplitAllgather);
+        return registry_s("sparcml_dsar", workers, n, s);
       });
-      c[3] = sweep.add_value([workers, n, s] {
-        return agsparse_s(workers, n, s, baselines::AgStack::kNccl);
-      });
+      c[3] = sweep.add_value(
+          [workers, n, s] { return registry_s("agsparse", workers, n, s); });
       c[4] = sweep.add_value([workers, n, s] {
-        return agsparse_s(workers, n, s, baselines::AgStack::kGloo);
+        return registry_s("agsparse_gloo", workers, n, s);
       });
-      c[5] = sweep.add_value([workers, n, s] {
-        const auto dense = make(workers, n, s, workers);
-        return sim::to_seconds(
-            baselines::parallax_allreduce(dense, bcfg()).completion_time);
-      });
+      c[5] = sweep.add_value(
+          [workers, n, s] { return registry_s("parallax", workers, n, s); });
       c[6] = sweep.add_value([workers, n, s] {
         auto omni_ts = make(workers, n, s, workers);
         core::Config cfg = core::Config::for_transport(core::Transport::kRdma);

@@ -3,11 +3,8 @@
 // before and COO -> dense after; OmniReduce and dense NCCL skip both.
 #include <cstdio>
 
-#include "baselines/agsparse.h"
-#include "baselines/parameter_server.h"
-#include "baselines/ring.h"
-#include "baselines/sparcml.h"
 #include "bench/bench_util.h"
+#include "bench/registry_util.h"
 #include "core/engine.h"
 #include "sim/rng.h"
 #include "tensor/coo.h"
@@ -23,12 +20,9 @@ int main() {
   sim::Rng rng(1);
   auto dense = tensor::make_multi_worker(8, n, 256, s,
                                          tensor::OverlapMode::kRandom, rng);
-  std::vector<tensor::CooTensor> coo;
-  for (const auto& t : dense) coo.push_back(tensor::dense_to_coo(t));
-  const std::size_t nnz = coo.front().nnz();
+  const std::size_t nnz = tensor::dense_to_coo(dense.front()).nnz();
 
-  baselines::BaselineConfig bc;
-  bc.bandwidth_bps = 10e9;
+  const core::ClusterSpec flat = bench::flat_cluster(10e9, 1);
   const double to_sparse_ms =
       sim::to_milliseconds(tensor::conversion_cost(n, nnz));
   // The reduced union is ~8x denser; converting back touches it all.
@@ -39,30 +33,29 @@ int main() {
   {
     auto c = dense;
     const double t = sim::to_milliseconds(
-        baselines::ring_allreduce(c, bc, false).completion_time);
+        bench::registry_run("ring", c, flat).completion_time);
     bench::row({"Dense(NCCL)", "0.00", bench::fmt(t), "0.00", bench::fmt(t)});
   }
   {
+    auto c = dense;
     const double t = sim::to_milliseconds(
-        baselines::parallax_allreduce(dense, bc).completion_time);
+        bench::registry_run("parallax", c, flat).completion_time);
     bench::row({"Parallax", bench::fmt(to_sparse_ms), bench::fmt(t),
                 bench::fmt(to_dense_ms),
                 bench::fmt(to_sparse_ms + t + to_dense_ms)});
   }
   {
-    std::vector<tensor::CooTensor> outs;
+    auto c = dense;
     const double t = sim::to_milliseconds(
-        baselines::agsparse_allreduce(coo, outs, bc).completion_time);
+        bench::registry_run("agsparse", c, flat).completion_time);
     bench::row({"AGsparse(NCCL)", bench::fmt(to_sparse_ms), bench::fmt(t),
                 bench::fmt(to_dense_ms),
                 bench::fmt(to_sparse_ms + t + to_dense_ms)});
   }
   {
-    tensor::CooTensor out;
+    auto c = dense;
     const double t = sim::to_milliseconds(
-        baselines::sparcml_allreduce(
-            coo, out, bc, baselines::SparcmlVariant::kSsarSplitAllgather)
-            .completion_time);
+        bench::registry_run("sparcml_ssar", c, flat).completion_time);
     bench::row({"SSAR_Split_allgather", bench::fmt(to_sparse_ms),
                 bench::fmt(t), bench::fmt(to_dense_ms),
                 bench::fmt(to_sparse_ms + t + to_dense_ms)});

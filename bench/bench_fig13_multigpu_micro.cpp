@@ -3,8 +3,8 @@
 // sparsity sweep.
 #include <cstdio>
 
-#include "baselines/ring.h"
 #include "bench/bench_util.h"
+#include "bench/registry_util.h"
 #include "core/hierarchical.h"
 #include "sim/rng.h"
 #include "tensor/generators.h"
@@ -40,10 +40,9 @@ double nccl_ms(std::size_t n, std::uint64_t seed) {
     for (const auto& g : server) sum.add_inplace(g);
     server_sums.push_back(std::move(sum));
   }
-  baselines::BaselineConfig bc;
-  bc.bandwidth_bps = 100e9;
   const double inter = sim::to_seconds(
-      baselines::ring_allreduce(server_sums, bc, false).completion_time);
+      bench::registry_run("ring", server_sums, bench::flat_cluster(100e9, 1))
+          .completion_time);
   core::HierarchicalConfig hier;
   const double intra =
       2.0 * (static_cast<double>(kGpus) - 1.0) / kGpus * n * 4.0 /

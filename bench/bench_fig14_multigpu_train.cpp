@@ -2,8 +2,8 @@
 // multi-GPU, multi-node setup (6 servers x 8 GPUs, 100 Gbps).
 #include <cstdio>
 
-#include "baselines/ring.h"
 #include "bench/bench_util.h"
+#include "bench/registry_util.h"
 #include "core/hierarchical.h"
 #include "ddl/timing.h"
 #include "ddl/workloads.h"
@@ -49,15 +49,14 @@ int main() {
       for (const auto& g : server) sum.add_inplace(g);
       sums.push_back(std::move(sum));
     }
-    baselines::BaselineConfig bc;
-    bc.bandwidth_bps = 100e9;
     auto sums_copy = sums;
     core::HierarchicalConfig hier;
     const double intra = 2.0 * (kGpus - 1.0) / kGpus * n * 4.0 /
                          hier.nvlink_bandwidth_Bps;
     const double nccl_comm =
-        (sim::to_seconds(
-             baselines::ring_allreduce(sums_copy, bc, false).completion_time) +
+        (sim::to_seconds(bench::registry_run("ring", sums_copy,
+                                             bench::flat_cluster(100e9, 1))
+                             .completion_time) +
          intra) *
         scale;
 

@@ -3,7 +3,7 @@
 // block sizes 34 and 256.
 #include <cstdio>
 
-#include "baselines/ring.h"
+#include "bench/registry_util.h"
 #include "bench/bench_util.h"
 #include "core/engine.h"
 #include "innet/p4_aggregator.h"
@@ -59,10 +59,9 @@ int main() {
   bench::row({"sparsity", "P4(34)", "P4(256)", "Server", "NCCL"});
   for (double s : {0.0, 0.2, 0.6, 0.8, 0.9, 0.92, 0.96, 0.98, 0.99}) {
     auto ring_copy = make(n, 256, s, 1);
-    baselines::BaselineConfig bc;
-    bc.bandwidth_bps = kBw;
     const double base = sim::to_seconds(
-        baselines::ring_allreduce(ring_copy, bc, false).completion_time);
+        bench::registry_run("ring", ring_copy, bench::flat_cluster(kBw, 1))
+            .completion_time);
     bench::row({bench::fmt_pct(s, 0),
                 bench::fmt(base / p4_s(n, 34, s, 2), 2),
                 bench::fmt(base / p4_s(n, 256, s, 3), 2),

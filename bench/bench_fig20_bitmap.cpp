@@ -3,8 +3,8 @@
 // time for the same tensor (the reference line in the figure).
 #include <cstdio>
 
-#include "baselines/ring.h"
 #include "bench/bench_util.h"
+#include "bench/registry_util.h"
 #include "device/device_model.h"
 #include "sim/rng.h"
 #include "tensor/generators.h"
@@ -21,10 +21,9 @@ int main() {
   sim::Rng rng(1);
   auto ts = tensor::make_multi_worker(8, n, 256, 0.0,
                                       tensor::OverlapMode::kRandom, rng);
-  baselines::BaselineConfig bc;
-  bc.bandwidth_bps = 100e9;
   const double nccl_ms = sim::to_milliseconds(
-      baselines::ring_allreduce(ts, bc, false).completion_time);
+      bench::registry_run("ring", ts, bench::flat_cluster(100e9, 1))
+          .completion_time);
 
   device::DeviceModel dev;
   bench::row({"block size", "bitmap[ms]", "NCCL+GDR[ms]"});

@@ -1,0 +1,178 @@
+// Selector sweep: the online per-tensor selector against every fixed
+// algorithm in its candidate set, across a sparsity x size grid (8
+// workers, 10 Gbps, colocated aggregators so ring vs OmniReduce has a
+// real crossover at low sparsity).
+//
+// Each cell replays kSteps AllReduce steps on fresh tensors (per-step
+// seeds). Fixed columns run one algorithm for every step; the selector
+// column starts from a cold OnlineSelector and learns per cell from its
+// own RunStats feedback. Reported per cell: total time per policy, the
+// best fixed algorithm, and the selector's regret against it. The
+// acceptance summary checks the ISSUE criteria: the selector beats the
+// worst fixed algorithm in every cell and lands within 10% of the
+// per-cell best-fixed total in aggregate.
+//
+// Deterministic: every job derives its inputs from explicit seeds and the
+// sweep commits results in submission order, so output is byte-identical
+// for any OMR_JOBS setting.
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/registry_util.h"
+#include "core/algorithm.h"
+#include "core/selector.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+constexpr double kBw = 10e9;
+constexpr int kSteps = 4;
+
+constexpr double kSparsities[] = {0.0, 0.5, 0.9, 0.99};
+constexpr std::size_t kElements[] = {1u << 18, 1u << 20, 1u << 22};
+
+const std::vector<std::string>& candidates() {
+  static const std::vector<std::string> c = core::SelectorConfig{}.candidates;
+  return c;
+}
+
+std::vector<tensor::DenseTensor> make(std::size_t n, double s,
+                                      std::uint64_t seed) {
+  sim::Rng rng(seed);
+  return tensor::make_multi_worker(kWorkers, n, 256, s,
+                                   tensor::OverlapMode::kRandom, rng);
+}
+
+core::ClusterSpec cluster() {
+  core::ClusterSpec c = core::ClusterSpec::colocated();
+  c.fabric.worker_bandwidth_bps = kBw;
+  c.fabric.aggregator_bandwidth_bps = kBw;
+  c.fabric.seed = 1;
+  c.device.gdr = true;
+  return c;
+}
+
+core::Config run_cfg() {
+  return core::Config::for_transport(core::Transport::kRdma);
+}
+
+std::uint64_t step_seed(std::size_t cell, int step) {
+  return cell * 64 + static_cast<std::uint64_t>(step) + 1;
+}
+
+/// Total seconds running `algo` for every step of one cell.
+double fixed_total_s(const std::string& algo, std::size_t cell,
+                     std::size_t n, double s) {
+  double total = 0.0;
+  for (int step = 0; step < kSteps; ++step) {
+    auto ts = make(n, s, step_seed(cell, step));
+    total += sim::to_seconds(
+        bench::registry_run(algo, ts, cluster(), run_cfg()).completion_time);
+  }
+  return total;
+}
+
+/// Total seconds for a cold selector replaying the same steps.
+double selector_total_s(std::size_t cell, std::size_t n, double s) {
+  baselines::register_zoo();
+  core::OnlineSelector selector;
+  const core::ClusterSpec c = cluster();
+  double total = 0.0;
+  for (int step = 0; step < kSteps; ++step) {
+    auto ts = make(n, s, step_seed(cell, step));
+    total += sim::to_seconds(
+        selector.run(ts, run_cfg(), c).completion_time);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Selector sweep",
+                "Online selector vs fixed algorithms (8 workers, 10 Gbps, "
+                "colocated)");
+  std::printf("%d steps per cell; totals in ms; regret = selector/best - 1\n",
+              kSteps);
+
+  const auto& algos = candidates();
+  bench::Sweep sweep;
+  struct Cell {
+    std::size_t n;
+    double s;
+    std::vector<std::size_t> fixed;
+    std::size_t selector;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t n : kElements) {
+    for (double s : kSparsities) {
+      Cell cell;
+      cell.n = n;
+      cell.s = s;
+      const std::size_t id = cells.size();
+      for (const auto& algo : algos) {
+        cell.fixed.push_back(sweep.add_value(
+            [algo, id, n, s] { return fixed_total_s(algo, id, n, s); }));
+      }
+      cell.selector = sweep.add_value(
+          [id, n, s] { return selector_total_s(id, n, s); });
+      cells.push_back(std::move(cell));
+    }
+  }
+  sweep.run();
+
+  std::vector<std::string> header{"size/sparsity"};
+  for (const auto& a : algos) header.push_back(a);
+  header.push_back("selector");
+  header.push_back("best");
+  header.push_back("regret");
+  bench::row(header);
+
+  bool beats_worst_everywhere = true;
+  double aggregate_selector = 0.0;
+  double aggregate_best = 0.0;
+  for (const auto& cell : cells) {
+    double best = 0.0, worst = 0.0;
+    std::string best_name;
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+      const double v = sweep.value(cell.fixed[i]);
+      if (best_name.empty() || v < best) {
+        best = v;
+        best_name = algos[i];
+      }
+      if (v > worst) worst = v;
+    }
+    const double sel = sweep.value(cell.selector);
+    aggregate_selector += sel;
+    aggregate_best += best;
+    if (sel >= worst) beats_worst_everywhere = false;
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%.0fMB %.0f%%",
+                  cell.n * 4.0 / 1e6, cell.s * 100.0);
+    std::vector<std::string> cols{label};
+    for (std::size_t i = 0; i < algos.size(); ++i) {
+      cols.push_back(bench::fmt(sweep.value(cell.fixed[i]) * 1e3));
+    }
+    cols.push_back(bench::fmt(sel * 1e3));
+    cols.push_back(best_name);
+    cols.push_back(bench::fmt_pct(sel / best - 1.0, 1));
+    bench::row(cols);
+  }
+
+  const double aggregate_ratio = aggregate_selector / aggregate_best;
+  std::printf("\nselector beats the worst fixed algorithm in every cell: %s\n",
+              beats_worst_everywhere ? "yes" : "NO");
+  std::printf("aggregate selector/best-fixed: %.3f (acceptance: <= 1.10)\n",
+              aggregate_ratio);
+  const bool ok = beats_worst_everywhere && aggregate_ratio <= 1.10;
+  std::printf("ACCEPTANCE: %s\n", ok ? "pass" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -3,7 +3,7 @@
 // called out in DESIGN.md.
 #include <cstdio>
 
-#include "baselines/ring.h"
+#include "bench/registry_util.h"
 #include "bench/bench_util.h"
 #include "core/engine.h"
 #include "perfmodel/perfmodel.h"
@@ -68,10 +68,9 @@ int main() {
     sim::Rng rng(9);
     auto ts = tensor::make_multi_worker(8, n, 256, 0.0,
                                         tensor::OverlapMode::kRandom, rng);
-    baselines::BaselineConfig bc;
-    bc.bandwidth_bps = kBw;
     const double sim_ms = sim::to_milliseconds(
-        baselines::ring_allreduce(ts, bc, false).completion_time);
+        bench::registry_run("ring", ts, bench::flat_cluster(kBw, 1))
+            .completion_time);
     perfmodel::ModelParams p;
     p.n_workers = 8;
     p.bandwidth_bps = kBw;

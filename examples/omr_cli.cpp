@@ -1,28 +1,28 @@
 // omr_cli — run a configurable collective from the command line.
 //
 //   $ build/examples/omr_cli --workers 8 --mb 100 --sparsity 0.9
-//         --transport rdma --gdr --bandwidth 100 --method omnireduce
+//         --transport rdma --gdr --bandwidth 100 --algo omnireduce
 //
-// Methods: omnireduce (default), ring, switchml, ps, agsparse, sparcml, kv.
-// Prints completion time, per-worker payload, message counts and, for
-// OmniReduce, retransmission statistics. Every run verifies the reduction
-// against a serial reference.
+// Any registered collective algorithm can be selected with --algo (use
+// `--algo list` to enumerate the registry); `--algo auto` lets the online
+// selector pick per tensor. The legacy --method spellings still work and
+// dispatch through the same registry. Prints completion time, per-worker
+// payload, message counts and, for the native OmniReduce engine,
+// retransmission statistics. Every run verifies the reduction against a
+// serial reference.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
-#include "baselines/agsparse.h"
-#include "baselines/parameter_server.h"
-#include "baselines/ring.h"
-#include "baselines/sparcml.h"
+#include "baselines/zoo.h"
+#include "core/algorithm.h"
 #include "core/engine.h"
-#include "core/sparse_kv.h"
+#include "core/selector.h"
 #include "sim/rng.h"
 #include "telemetry/report.h"
 #include "telemetry/telemetry.h"
-#include "tensor/coo.h"
 #include "tensor/generators.h"
 
 namespace {
@@ -34,6 +34,7 @@ struct Options {
   double bandwidth_gbps = 10.0;
   double loss = 0.0;
   std::string method = "omnireduce";
+  std::string algo;  // registry name, "auto" (selector) or "list"
   std::string transport = "dpdk";
   std::string overlap = "random";
   bool gdr = false;
@@ -52,7 +53,10 @@ void usage() {
       "  --sparsity S       block sparsity in [0,1] (default 0.9)\n"
       "  --bandwidth G      per-NIC Gbps (default 10)\n"
       "  --loss P           packet loss probability (default 0)\n"
+      "  --algo A           registry algorithm name (see --algo list), or\n"
+      "                     'auto' to let the online selector choose\n"
       "  --method M         omnireduce|ring|switchml|ps|agsparse|sparcml|kv\n"
+      "                     (legacy spellings; dispatched via the registry)\n"
       "  --transport T      dpdk|rdma (omnireduce only)\n"
       "  --overlap O        random|none|all\n"
       "  --gdr              enable GPU-direct (no PCIe staging)\n"
@@ -89,6 +93,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.seed = static_cast<std::uint64_t>(v);
     } else if (a == "--method" && i + 1 < argc) {
       opt.method = argv[++i];
+    } else if (a == "--algo" && i + 1 < argc) {
+      opt.algo = argv[++i];
     } else if (a == "--transport" && i + 1 < argc) {
       opt.transport = argv[++i];
     } else if (a == "--overlap" && i + 1 < argc) {
@@ -115,6 +121,14 @@ int main(int argc, char** argv) {
   using namespace omr;
   Options opt;
   if (!parse(argc, argv, opt)) return 1;
+  baselines::register_zoo();
+
+  if (opt.algo == "list") {
+    for (const auto& name : core::CollectiveRegistry::global().names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
 
   const auto n = static_cast<std::size_t>(opt.mb * 1e6 / 4.0);
   const double bw = opt.bandwidth_gbps * 1e9;
@@ -130,20 +144,50 @@ int main(int argc, char** argv) {
               opt.workers, opt.mb, opt.sparsity * 100, opt.overlap.c_str(),
               opt.bandwidth_gbps);
 
+  // One cluster + transport config serves both the native engine and the
+  // registry dispatch paths.
+  core::Config cfg = core::Config::for_transport(
+      opt.transport == "rdma" ? core::Transport::kRdma
+                              : core::Transport::kDpdk);
+  cfg.block_size = opt.block_size;
+  core::ClusterSpec cluster =
+      opt.colocated ? core::ClusterSpec::colocated()
+                    : core::ClusterSpec::dedicated(opt.workers);
+  cluster.fabric.worker_bandwidth_bps = bw;
+  cluster.fabric.aggregator_bandwidth_bps = bw;
+  cluster.fabric.loss_rate = opt.loss;
+  cluster.fabric.seed = opt.seed;
+  cluster.device.gdr = opt.gdr;
+
+  if (opt.algo == "auto") {
+    core::OnlineSelector selector;
+    core::SelectorDecision decision;
+    core::RunStats st =
+        selector.run(tensors, cfg, cluster, &decision, /*verify=*/true);
+    std::printf("auto -> %-12s %10.3f ms  predicted %.3f ms  verified=%s\n",
+                decision.algorithm.c_str(), st.completion_ms(),
+                decision.predicted_seconds * 1e3,
+                st.verified ? "yes" : "no");
+    return st.verified ? 0 : 1;
+  }
+  if (!opt.algo.empty()) {
+    try {
+      core::RunStats st =
+          core::run_collective(opt.algo, tensors, cfg, cluster,
+                               /*verify=*/true);
+      std::printf("%-12s %10.3f ms  payload/worker %.2f MB  verified=%s\n",
+                  opt.algo.c_str(), st.completion_ms(),
+                  st.mean_worker_data_bytes() / 1e6,
+                  st.verified ? "yes" : "no");
+      return st.verified ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "omr_cli: %s\n", e.what());
+      return 1;
+    }
+  }
+
   if (opt.method == "omnireduce" || opt.method == "switchml") {
-    core::Config cfg = core::Config::for_transport(
-        opt.transport == "rdma" ? core::Transport::kRdma
-                                : core::Transport::kDpdk);
-    cfg.block_size = opt.block_size;
     cfg.dense_mode = opt.method == "switchml";
-    core::ClusterSpec cluster =
-        opt.colocated ? core::ClusterSpec::colocated()
-                      : core::ClusterSpec::dedicated(opt.workers);
-    cluster.fabric.worker_bandwidth_bps = bw;
-    cluster.fabric.aggregator_bandwidth_bps = bw;
-    cluster.fabric.loss_rate = opt.loss;
-    cluster.fabric.seed = opt.seed;
-    cluster.device.gdr = opt.gdr;
     cluster.telemetry.enabled =
         !opt.report_path.empty() || !opt.trace_path.empty();
     cluster.telemetry.trace_events = !opt.trace_path.empty();
@@ -175,50 +219,24 @@ int main(int argc, char** argv) {
       std::printf("trace:  %s (%zu events)\n", opt.trace_path.c_str(),
                   report.trace.events.size());
     }
-  } else if (opt.method == "ring") {
-    baselines::BaselineConfig cfg;
-    cfg.bandwidth_bps = bw;
-    cfg.seed = opt.seed;
-    baselines::BaselineStats st = baselines::ring_allreduce(tensors, cfg);
-    std::printf("ring         %10.3f ms  wire total %.2f MB  verified=%s\n",
-                st.completion_ms(), st.total_tx_bytes / 1e6,
-                st.verified ? "yes" : "no");
-  } else if (opt.method == "ps") {
-    baselines::BaselineConfig cfg;
-    cfg.bandwidth_bps = bw;
-    cfg.seed = opt.seed;
-    baselines::BaselineStats st = baselines::ps_dense_allreduce(
-        tensors, cfg, opt.workers, opt.colocated);
-    std::printf("ps           %10.3f ms  verified=%s\n", st.completion_ms(),
-                st.verified ? "yes" : "no");
-  } else if (opt.method == "agsparse" || opt.method == "sparcml" ||
+    if (!report.verified) return 1;
+  } else if (opt.method == "ring" || opt.method == "ps" ||
+             opt.method == "agsparse" || opt.method == "sparcml" ||
              opt.method == "kv") {
-    std::vector<tensor::CooTensor> coo;
-    for (const auto& t : tensors) coo.push_back(tensor::dense_to_coo(t));
-    if (opt.method == "agsparse") {
-      baselines::BaselineConfig cfg;
-      cfg.bandwidth_bps = bw;
-      std::vector<tensor::CooTensor> outs;
-      auto st = baselines::agsparse_allreduce(coo, outs, cfg);
-      std::printf("agsparse     %10.3f ms\n", st.completion_ms());
-    } else if (opt.method == "sparcml") {
-      baselines::BaselineConfig cfg;
-      cfg.bandwidth_bps = bw;
-      tensor::CooTensor out;
-      const auto variant = baselines::sparcml_choose_variant(
-          n, coo.front().nnz(), opt.workers);
-      auto st = baselines::sparcml_allreduce(coo, out, cfg, variant);
-      std::printf("sparcml      %10.3f ms\n", st.completion_ms());
-    } else {
-      core::FabricConfig fabric;
-      fabric.worker_bandwidth_bps = bw;
-      fabric.aggregator_bandwidth_bps = bw;
-      auto st = core::run_sparse_allreduce(coo, fabric, opt.block_size, 64,
-                                           64);
-      std::printf("kv           %10.3f ms  %llu rounds\n",
-                  sim::to_milliseconds(st.completion_time),
-                  static_cast<unsigned long long>(st.rounds));
+    // Legacy spellings resolve to registry names.
+    const std::string name =
+        opt.method == "kv" ? "omnireduce_kv" : opt.method;
+    if (opt.method == "ps" && !opt.colocated) {
+      // The historical CLI sharded the model across one server per worker.
+      cluster.n_aggregator_nodes = opt.workers;
     }
+    core::RunStats st = core::run_collective(name, tensors, cfg, cluster,
+                                             /*verify=*/true);
+    std::printf("%-12s %10.3f ms  payload/worker %.2f MB  verified=%s\n",
+                opt.method.c_str(), st.completion_ms(),
+                st.mean_worker_data_bytes() / 1e6,
+                st.verified ? "yes" : "no");
+    return st.verified ? 0 : 1;
   } else {
     usage();
     return 1;

@@ -11,7 +11,8 @@
 //      counts.
 #include <cstdio>
 
-#include "baselines/ring.h"
+#include "baselines/zoo.h"
+#include "core/algorithm.h"
 #include "core/engine.h"
 #include "sim/rng.h"
 #include "tensor/generators.h"
@@ -46,10 +47,14 @@ int main() {
               stats.mean_worker_data_bytes() / 1e6,
               stats.verified ? "yes" : "no");
 
-  // Baseline: bandwidth-optimal ring AllReduce on the same fabric.
-  baselines::BaselineConfig ring_cfg;
-  ring_cfg.bandwidth_bps = 100e9;
-  baselines::BaselineStats ring = baselines::ring_allreduce(tensors, ring_cfg);
+  // Baseline: bandwidth-optimal ring AllReduce on the same fabric, picked
+  // from the collective registry by name.
+  baselines::register_zoo();
+  core::ClusterSpec ring_cluster;
+  ring_cluster.fabric.worker_bandwidth_bps = 100e9;
+  ring_cluster.fabric.aggregator_bandwidth_bps = 100e9;
+  core::RunStats ring = core::run_collective("ring", tensors, core::Config{},
+                                             ring_cluster, /*verify=*/false);
   std::printf("Ring (NCCL):  %8.3f ms\n", ring.completion_ms());
   std::printf("Speedup:      %8.2fx (gradient block sparsity 90%%)\n",
               ring.completion_ms() / stats.completion_ms());

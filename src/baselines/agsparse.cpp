@@ -101,9 +101,9 @@ class GatherNode final : public net::Endpoint {
 
 }  // namespace
 
-sim::Time ring_allgather_bytes(const std::vector<std::size_t>& payload_bytes,
-                               const BaselineConfig& cfg,
-                               std::uint64_t* total_tx_bytes) {
+sim::Time detail::ring_allgather_bytes(
+    const std::vector<std::size_t>& payload_bytes, const BaselineConfig& cfg,
+    std::uint64_t* total_tx_bytes) {
   const int n = static_cast<int>(payload_bytes.size());
   if (n == 0) throw std::invalid_argument("no workers");
   sim::Simulator simulator;
@@ -137,11 +137,11 @@ sim::Time ring_allgather_bytes(const std::vector<std::size_t>& payload_bytes,
   return t;
 }
 
-BaselineStats agsparse_allreduce(const std::vector<tensor::CooTensor>& inputs,
-                                 std::vector<tensor::CooTensor>& outputs,
-                                 const BaselineConfig& cfg, AgStack stack,
-                                 double reduce_mem_bandwidth_Bps,
-                                 bool verify, bool compress_indices) {
+BaselineStats detail::agsparse_allreduce(
+    const std::vector<tensor::CooTensor>& inputs,
+    std::vector<tensor::CooTensor>& outputs, const BaselineConfig& cfg,
+    AgStack stack, double reduce_mem_bandwidth_Bps, bool verify,
+    bool compress_indices) {
   if (inputs.empty()) throw std::invalid_argument("no workers");
   const std::size_t n = inputs.size();
   // Communication: ring-allgather every worker's (keys, values) payload.

@@ -12,6 +12,11 @@ namespace omr::baselines {
 /// host-side copy per received byte (§6.1.2 shows Gloo consistently slower).
 enum class AgStack { kNccl, kGloo };
 
+/// Internal building blocks behind the registry ("agsparse",
+/// "agsparse_gloo", "agsparse_compressed"); dispatch through
+/// core::CollectiveRegistry instead of calling these directly.
+namespace detail {
+
 /// AllGather-based sparse AllReduce (PyTorch's strawman, §2.1): every
 /// worker ring-allgathers all (key, value) pairs, then reduces locally.
 /// Memory and time scale with N * nnz — no overlap elimination. Inputs are
@@ -37,4 +42,5 @@ sim::Time ring_allgather_bytes(const std::vector<std::size_t>& payload_bytes,
                                const BaselineConfig& cfg,
                                std::uint64_t* total_tx_bytes = nullptr);
 
+}  // namespace detail
 }  // namespace omr::baselines

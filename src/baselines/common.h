@@ -20,6 +20,17 @@ struct BaselineConfig {
   std::uint64_t seed = 1;
 };
 
+namespace detail {
+
+/// Time an all-to-all where node w sends `bytes_matrix[w][p]` opaque bytes
+/// to peer p (chunked over the simulated fabric). Building block shared by
+/// SparCML phase 1 and Ok-Topk's partition exchange.
+sim::Time all_to_all_bytes(
+    const std::vector<std::vector<std::size_t>>& bytes_matrix,
+    const BaselineConfig& cfg, std::uint64_t* total_tx = nullptr);
+
+}  // namespace detail
+
 /// Outcome of one baseline collective run.
 struct BaselineStats {
   sim::Time completion_time = 0;

@@ -142,7 +142,8 @@ class PsWorker final : public net::Endpoint {
 
 }  // namespace
 
-BaselineStats ps_dense_allreduce(std::vector<tensor::DenseTensor>& tensors,
+BaselineStats detail::ps_dense_allreduce(
+    std::vector<tensor::DenseTensor>& tensors,
                                  const BaselineConfig& cfg,
                                  std::size_t n_servers, bool colocated,
                                  bool verify) {
@@ -357,7 +358,8 @@ class SparsePsWorker final : public net::Endpoint {
 
 }  // namespace
 
-BaselineStats ps_sparse_allreduce(const std::vector<tensor::CooTensor>& inputs,
+BaselineStats detail::ps_sparse_allreduce(
+    const std::vector<tensor::CooTensor>& inputs,
                                   tensor::CooTensor& result,
                                   const BaselineConfig& cfg,
                                   std::size_t n_servers, bool colocated) {
@@ -425,8 +427,9 @@ BaselineStats ps_sparse_allreduce(const std::vector<tensor::CooTensor>& inputs,
   return stats;
 }
 
-BaselineStats parallax_allreduce(const std::vector<tensor::DenseTensor>& dense,
-                                 const BaselineConfig& cfg) {
+BaselineStats detail::parallax_allreduce(
+    const std::vector<tensor::DenseTensor>& dense,
+    const BaselineConfig& cfg) {
   // Oracle: run both paths, report the better time (§6.1.2).
   std::vector<tensor::DenseTensor> ring_copy = dense;
   BaselineStats ring = ring_allreduce(ring_copy, cfg, /*verify=*/false);

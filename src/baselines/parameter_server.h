@@ -8,6 +8,11 @@
 
 namespace omr::baselines {
 
+/// Internal building blocks behind the registry ("ps", "ps_sparse",
+/// "parallax"); dispatch through core::CollectiveRegistry instead of
+/// calling these directly.
+namespace detail {
+
 /// Dense parameter-server AllReduce (BytePS-style): the tensor is sharded
 /// across `n_servers` servers; every worker pushes each shard (chunked) to
 /// its server, the server sums all N contributions per chunk, then pushes
@@ -33,4 +38,5 @@ BaselineStats ps_sparse_allreduce(const std::vector<tensor::CooTensor>& inputs,
 BaselineStats parallax_allreduce(const std::vector<tensor::DenseTensor>& dense,
                                  const BaselineConfig& cfg);
 
+}  // namespace detail
 }  // namespace omr::baselines

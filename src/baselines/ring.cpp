@@ -152,8 +152,8 @@ class RingNode final : public net::Endpoint {
 
 }  // namespace
 
-BaselineStats ring_allreduce(std::vector<tensor::DenseTensor>& tensors,
-                             const BaselineConfig& cfg, bool verify) {
+BaselineStats detail::ring_allreduce(std::vector<tensor::DenseTensor>& tensors,
+                                     const BaselineConfig& cfg, bool verify) {
   if (tensors.empty()) throw std::invalid_argument("no workers");
   const int n = static_cast<int>(tensors.size());
   tensor::DenseTensor reference;
@@ -282,7 +282,7 @@ class RdNode final : public net::Endpoint {
 
 }  // namespace
 
-BaselineStats recursive_doubling_allreduce(
+BaselineStats detail::recursive_doubling_allreduce(
     std::vector<tensor::DenseTensor>& tensors, const BaselineConfig& cfg,
     bool verify) {
   const int n = static_cast<int>(tensors.size());

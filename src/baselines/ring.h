@@ -7,6 +7,12 @@
 
 namespace omr::baselines {
 
+/// Internal building blocks behind the registry: dispatch through
+/// core::CollectiveRegistry ("ring", "recursive_doubling") instead of
+/// calling these directly. Tests pinning golden baseline behavior are the
+/// intended remaining callers.
+namespace detail {
+
 /// Bandwidth-optimal ring AllReduce (Patarasuk & Yuan), the algorithm NCCL
 /// and Gloo default to and the paper's primary baseline. Two phases of N-1
 /// steps each (reduce-scatter then allgather); segments are chunked so
@@ -22,4 +28,5 @@ BaselineStats recursive_doubling_allreduce(
     std::vector<tensor::DenseTensor>& tensors, const BaselineConfig& cfg,
     bool verify = true);
 
+}  // namespace detail
 }  // namespace omr::baselines

@@ -81,10 +81,26 @@ class ExchangeNode final : public net::Endpoint {
   sim::Time finish_ = 0;
 };
 
-/// Time an all-to-all where node w sends bytes_matrix[w][p] to p.
-sim::Time all_to_all_bytes(
+/// Extract the entries of `t` with keys in [lo, hi).
+tensor::CooTensor slice_range(const tensor::CooTensor& t, std::int64_t lo,
+                              std::int64_t hi) {
+  tensor::CooTensor out;
+  out.dim = t.dim;
+  const auto begin = std::lower_bound(t.keys.begin(), t.keys.end(),
+                                      static_cast<std::int32_t>(lo));
+  const auto end = std::lower_bound(t.keys.begin(), t.keys.end(),
+                                    static_cast<std::int32_t>(hi));
+  out.keys.assign(begin, end);
+  out.values.assign(t.values.begin() + (begin - t.keys.begin()),
+                    t.values.begin() + (end - t.keys.begin()));
+  return out;
+}
+
+}  // namespace
+
+sim::Time detail::all_to_all_bytes(
     const std::vector<std::vector<std::size_t>>& bytes_matrix,
-    const BaselineConfig& cfg, std::uint64_t* total_tx = nullptr) {
+    const BaselineConfig& cfg, std::uint64_t* total_tx) {
   const int n = static_cast<int>(bytes_matrix.size());
   sim::Simulator simulator;
   net::Network network(simulator, cfg.one_way_latency, cfg.seed);
@@ -115,24 +131,7 @@ sim::Time all_to_all_bytes(
   return t;
 }
 
-/// Extract the entries of `t` with keys in [lo, hi).
-tensor::CooTensor slice_range(const tensor::CooTensor& t, std::int64_t lo,
-                              std::int64_t hi) {
-  tensor::CooTensor out;
-  out.dim = t.dim;
-  const auto begin = std::lower_bound(t.keys.begin(), t.keys.end(),
-                                      static_cast<std::int32_t>(lo));
-  const auto end = std::lower_bound(t.keys.begin(), t.keys.end(),
-                                    static_cast<std::int32_t>(hi));
-  out.keys.assign(begin, end);
-  out.values.assign(t.values.begin() + (begin - t.keys.begin()),
-                    t.values.begin() + (end - t.keys.begin()));
-  return out;
-}
-
-}  // namespace
-
-SparcmlVariant sparcml_choose_variant(std::size_t dim, std::size_t max_nnz,
+SparcmlVariant detail::sparcml_choose_variant(std::size_t dim, std::size_t max_nnz,
                                       std::size_t n_workers) {
   // Latency-bandwidth model: below ~4K pairs per worker the alpha terms
   // dominate and recursive doubling wins; otherwise split-allgather. If the
@@ -149,7 +148,8 @@ SparcmlVariant sparcml_choose_variant(std::size_t dim, std::size_t max_nnz,
   return SparcmlVariant::kSsarSplitAllgather;
 }
 
-BaselineStats sparcml_allreduce(const std::vector<tensor::CooTensor>& inputs,
+BaselineStats detail::sparcml_allreduce(
+    const std::vector<tensor::CooTensor>& inputs,
                                 tensor::CooTensor& result,
                                 const BaselineConfig& cfg,
                                 SparcmlVariant variant,
@@ -218,7 +218,8 @@ BaselineStats sparcml_allreduce(const std::vector<tensor::CooTensor>& inputs,
     reduced[p] = std::move(acc);
     merge_pairs_max = std::max(merge_pairs_max, merge_pairs);
   }
-  stats.completion_time = all_to_all_bytes(bytes, cfg, &stats.total_tx_bytes);
+  stats.completion_time =
+      detail::all_to_all_bytes(bytes, cfg, &stats.total_tx_bytes);
   // Owners reduce after gathering (serial with communication, §2.1).
   stats.completion_time += sim::from_seconds(
       static_cast<double>(merge_pairs_max) * 8.0 * 2.0 /

@@ -26,6 +26,11 @@ enum class SparcmlVariant {
   kSsarRecursiveDoubling,  // small-input path: exchange + merge, log2(N) steps
 };
 
+/// Internal building blocks behind the registry ("sparcml",
+/// "sparcml_ssar", "sparcml_dsar"); dispatch through
+/// core::CollectiveRegistry instead of calling these directly.
+namespace detail {
+
 /// Run the chosen variant; `result` receives the reduced sparse tensor.
 /// Phases are serialized (SparCML separates communication and reduction).
 BaselineStats sparcml_allreduce(const std::vector<tensor::CooTensor>& inputs,
@@ -40,4 +45,5 @@ BaselineStats sparcml_allreduce(const std::vector<tensor::CooTensor>& inputs,
 SparcmlVariant sparcml_choose_variant(std::size_t dim, std::size_t max_nnz,
                                       std::size_t n_workers);
 
+}  // namespace detail
 }  // namespace omr::baselines

@@ -6,11 +6,13 @@
 #include "tensor/dense.h"
 
 namespace omr::baselines {
+namespace detail {
 
 /// SwitchML* (the paper's server-based SwitchML variant, §6.1.1): streaming
 /// aggregation through dedicated servers with *no* sparsity skipping —
 /// exactly the OmniReduce engine in dense mode. Supports RDMA but not GDR,
-/// as benchmarked in Fig. 5/10.
+/// as benchmarked in Fig. 5/10. Thin forwarder kept for tests pinning
+/// golden behavior; the registry name "switchml" is the public entry.
 inline core::RunStats switchml_allreduce(
     std::vector<tensor::DenseTensor>& tensors,
     const core::FabricConfig& fabric, std::size_t n_aggregator_nodes,
@@ -23,4 +25,5 @@ inline core::RunStats switchml_allreduce(
       tensors, cfg, core::ClusterSpec::dedicated(n_aggregator_nodes, fabric, dev));
 }
 
+}  // namespace detail
 }  // namespace omr::baselines

@@ -1,0 +1,299 @@
+#include "baselines/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/agsparse.h"
+#include "baselines/oktopk.h"
+#include "baselines/parameter_server.h"
+#include "baselines/ring.h"
+#include "baselines/sketch_reducer.h"
+#include "baselines/sparcml.h"
+#include "core/algorithm.h"
+#include "tensor/coo.h"
+
+namespace omr::baselines {
+
+namespace {
+
+using core::AlgoCapabilities;
+using core::ClusterSpec;
+using core::CollectiveAlgorithm;
+using core::Config;
+using core::RunStats;
+
+/// Baselines run over the same fabric parameters as the engine; the
+/// pipelining chunk and header default to the BaselineConfig values every
+/// bench has always used, so registry dispatch reproduces the historical
+/// numbers exactly.
+BaselineConfig derive_config(const ClusterSpec& cluster) {
+  BaselineConfig b;
+  b.bandwidth_bps = cluster.fabric.worker_bandwidth_bps;
+  b.one_way_latency = cluster.fabric.one_way_latency;
+  b.seed = cluster.fabric.seed;
+  return b;
+}
+
+RunStats to_run_stats(const BaselineStats& bs, std::size_t n_workers) {
+  RunStats rs;
+  rs.completion_time = bs.completion_time;
+  rs.worker_finish.assign(n_workers, bs.completion_time);
+  rs.worker_data_bytes.assign(
+      n_workers, bs.total_tx_bytes / std::max<std::size_t>(1, n_workers));
+  rs.verified = bs.verified;
+  rs.max_error = bs.max_error;
+  return rs;
+}
+
+std::vector<tensor::CooTensor> to_coo(
+    const std::vector<tensor::DenseTensor>& tensors) {
+  std::vector<tensor::CooTensor> coo;
+  coo.reserve(tensors.size());
+  for (const auto& t : tensors) coo.push_back(tensor::dense_to_coo(t));
+  return coo;
+}
+
+void assign_result(std::vector<tensor::DenseTensor>& tensors,
+                   const tensor::CooTensor& merged) {
+  tensor::DenseTensor dense = tensor::coo_to_dense(merged);
+  if (dense.size() < tensors.front().size()) {
+    tensor::DenseTensor full(tensors.front().size());
+    for (std::size_t i = 0; i < dense.size(); ++i) full[i] = dense[i];
+    dense = std::move(full);
+  }
+  for (auto& t : tensors) t = dense;
+}
+
+AlgoCapabilities exact_flat(bool sparse) {
+  AlgoCapabilities c;
+  c.sparse_aware = sparse;
+  return c;
+}
+
+class RingAlgo final : public CollectiveAlgorithm {
+ public:
+  std::string name() const override { return "ring"; }
+  AlgoCapabilities capabilities() const override { return exact_flat(false); }
+  RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config&,
+               const ClusterSpec& cluster) override {
+    return to_run_stats(detail::ring_allreduce(tensors, derive_config(cluster),
+                                               /*verify=*/false),
+                        tensors.size());
+  }
+};
+
+class RecursiveDoublingAlgo final : public CollectiveAlgorithm {
+ public:
+  std::string name() const override { return "recursive_doubling"; }
+  AlgoCapabilities capabilities() const override { return exact_flat(false); }
+  RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config&,
+               const ClusterSpec& cluster) override {
+    return to_run_stats(
+        detail::recursive_doubling_allreduce(tensors, derive_config(cluster),
+                                             /*verify=*/false),
+        tensors.size());
+  }
+};
+
+class AgSparseAlgo final : public CollectiveAlgorithm {
+ public:
+  AgSparseAlgo(std::string name, AgStack stack, bool compress)
+      : name_(std::move(name)), stack_(stack), compress_(compress) {}
+  std::string name() const override { return name_; }
+  AlgoCapabilities capabilities() const override { return exact_flat(true); }
+  RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config&,
+               const ClusterSpec& cluster) override {
+    const auto coo = to_coo(tensors);
+    std::vector<tensor::CooTensor> outputs;
+    const BaselineStats bs = detail::agsparse_allreduce(
+        coo, outputs, derive_config(cluster), stack_,
+        /*reduce_mem_bandwidth_Bps=*/12e9, /*verify=*/false, compress_);
+    assign_result(tensors, outputs.front());
+    return to_run_stats(bs, tensors.size());
+  }
+
+ private:
+  std::string name_;
+  AgStack stack_;
+  bool compress_;
+};
+
+class SparcmlAlgo final : public CollectiveAlgorithm {
+ public:
+  /// `variant` nullopt-style: has_variant_ false = cost-model dispatch.
+  SparcmlAlgo() : name_("sparcml"), has_variant_(false) {}
+  SparcmlAlgo(std::string name, SparcmlVariant variant)
+      : name_(std::move(name)), has_variant_(true), variant_(variant) {}
+  std::string name() const override { return name_; }
+  AlgoCapabilities capabilities() const override { return exact_flat(true); }
+  RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config&,
+               const ClusterSpec& cluster) override {
+    const auto coo = to_coo(tensors);
+    SparcmlVariant variant = variant_;
+    if (!has_variant_) {
+      std::size_t max_nnz = 0;
+      for (const auto& t : coo) max_nnz = std::max(max_nnz, t.nnz());
+      variant = detail::sparcml_choose_variant(coo.front().dim, max_nnz,
+                                               coo.size());
+      const std::size_t n = coo.size();
+      if (variant == SparcmlVariant::kSsarRecursiveDoubling &&
+          (n & (n - 1)) != 0) {
+        variant = SparcmlVariant::kSsarSplitAllgather;
+      }
+    }
+    tensor::CooTensor result;
+    const BaselineStats bs = detail::sparcml_allreduce(
+        coo, result, derive_config(cluster), variant);
+    assign_result(tensors, result);
+    return to_run_stats(bs, tensors.size());
+  }
+
+ private:
+  std::string name_;
+  bool has_variant_;
+  SparcmlVariant variant_ = SparcmlVariant::kSsarSplitAllgather;
+};
+
+class PsDenseAlgo final : public CollectiveAlgorithm {
+ public:
+  std::string name() const override { return "ps"; }
+  AlgoCapabilities capabilities() const override { return exact_flat(false); }
+  RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config&,
+               const ClusterSpec& cluster) override {
+    // Colocated: one server shard per worker NIC, matching ClusterSpec's
+    // deployment semantics (n_aggregator_nodes is ignored there).
+    const bool colocated =
+        cluster.deployment == core::Deployment::kColocated;
+    return to_run_stats(
+        detail::ps_dense_allreduce(
+            tensors, derive_config(cluster),
+            colocated ? tensors.size()
+                      : std::max<std::size_t>(1, cluster.n_aggregator_nodes),
+            colocated, /*verify=*/false),
+        tensors.size());
+  }
+};
+
+class PsSparseAlgo final : public CollectiveAlgorithm {
+ public:
+  std::string name() const override { return "ps_sparse"; }
+  AlgoCapabilities capabilities() const override { return exact_flat(true); }
+  RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config&,
+               const ClusterSpec& cluster) override {
+    const auto coo = to_coo(tensors);
+    tensor::CooTensor result;
+    const bool colocated =
+        cluster.deployment == core::Deployment::kColocated;
+    const BaselineStats bs = detail::ps_sparse_allreduce(
+        coo, result, derive_config(cluster),
+        colocated ? tensors.size()
+                  : std::max<std::size_t>(1, cluster.n_aggregator_nodes),
+        colocated);
+    assign_result(tensors, result);
+    return to_run_stats(bs, tensors.size());
+  }
+};
+
+class ParallaxAlgo final : public CollectiveAlgorithm {
+ public:
+  std::string name() const override { return "parallax"; }
+  AlgoCapabilities capabilities() const override { return exact_flat(true); }
+  RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config&,
+               const ClusterSpec& cluster) override {
+    const BaselineStats bs =
+        detail::parallax_allreduce(tensors, derive_config(cluster));
+    // The oracle charges the cheaper path's time; the reduction itself is
+    // the plain sum either way.
+    tensor::DenseTensor reduced =
+        tensor::reference_sum({tensors.data(), tensors.size()});
+    for (auto& t : tensors) t = reduced;
+    return to_run_stats(bs, tensors.size());
+  }
+};
+
+class OkTopkAlgo final : public CollectiveAlgorithm {
+ public:
+  std::string name() const override { return "oktopk"; }
+  AlgoCapabilities capabilities() const override { return exact_flat(true); }
+  RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config&,
+               const ClusterSpec& cluster) override {
+    // k = 0: every non-zero survives, so the balanced split-allreduce
+    // schedule is exact; sparsifying top-k runs go through
+    // oktopk_allreduce directly.
+    const OkTopkResult r =
+        oktopk_allreduce(to_coo(tensors), derive_config(cluster), {});
+    assign_result(tensors, r.result);
+    return to_run_stats(r.stats, tensors.size());
+  }
+};
+
+class SketchAlgo final : public CollectiveAlgorithm {
+ public:
+  std::string name() const override { return "sketch"; }
+  AlgoCapabilities capabilities() const override {
+    AlgoCapabilities c = exact_flat(true);
+    c.exact = false;
+    return c;
+  }
+  RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config& cfg,
+               const ClusterSpec& cluster) override {
+    SketchOptions opts;
+    opts.block_elements = cfg.block_size;
+    opts.seed = cluster.fabric.seed;
+    const SketchResult r =
+        sketch_allreduce(tensors, derive_config(cluster), opts);
+    for (auto& t : tensors) t = r.result;
+    return to_run_stats(r.stats, tensors.size());
+  }
+  double verify_error(const tensor::DenseTensor& result,
+                      const tensor::DenseTensor& reference) const override {
+    // The sketch guarantee lives in L2: individual entries keep O(1)
+    // collision error at any width, but the L2 distance shrinks with it.
+    return tensor::l2_diff(result, reference);
+  }
+  double verify_tolerance(const tensor::DenseTensor& reference,
+                          std::size_t) const override {
+    // Reconstruct the width the run derives: the reduced support is the
+    // union support when no contributions cancel exactly.
+    const SketchOptions defaults;
+    const std::size_t width = std::max<std::size_t>(
+        16, static_cast<std::size_t>(std::llround(
+                defaults.width_factor *
+                static_cast<double>(reference.nnz()))));
+    return sketch_error_bound(reference.l2_norm(), reference.nnz(), width);
+  }
+};
+
+std::once_flag g_zoo_registered;
+
+}  // namespace
+
+void register_zoo() {
+  std::call_once(g_zoo_registered, [] {
+    auto& reg = core::CollectiveRegistry::global();
+    reg.register_algorithm(std::make_unique<RingAlgo>());
+    reg.register_algorithm(std::make_unique<RecursiveDoublingAlgo>());
+    reg.register_algorithm(std::make_unique<AgSparseAlgo>(
+        "agsparse", AgStack::kNccl, /*compress=*/false));
+    reg.register_algorithm(std::make_unique<AgSparseAlgo>(
+        "agsparse_gloo", AgStack::kGloo, /*compress=*/false));
+    reg.register_algorithm(std::make_unique<AgSparseAlgo>(
+        "agsparse_compressed", AgStack::kNccl, /*compress=*/true));
+    reg.register_algorithm(std::make_unique<SparcmlAlgo>());
+    reg.register_algorithm(std::make_unique<SparcmlAlgo>(
+        "sparcml_ssar", SparcmlVariant::kSsarSplitAllgather));
+    reg.register_algorithm(std::make_unique<SparcmlAlgo>(
+        "sparcml_dsar", SparcmlVariant::kDsarSplitAllgather));
+    reg.register_algorithm(std::make_unique<PsDenseAlgo>());
+    reg.register_algorithm(std::make_unique<PsSparseAlgo>());
+    reg.register_algorithm(std::make_unique<ParallaxAlgo>());
+    reg.register_algorithm(std::make_unique<OkTopkAlgo>());
+    reg.register_algorithm(std::make_unique<SketchAlgo>());
+  });
+}
+
+}  // namespace omr::baselines

@@ -1,0 +1,120 @@
+#include "core/selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "perfmodel/perfmodel.h"
+#include "sim/time.h"
+
+namespace omr::core {
+
+namespace {
+
+perfmodel::ModelParams model_params(std::size_t n_workers,
+                                    std::size_t elements, double density,
+                                    const ClusterSpec& cluster) {
+  perfmodel::ModelParams p;
+  p.n_workers = n_workers;
+  p.bandwidth_bps = cluster.fabric.worker_bandwidth_bps;
+  p.alpha_s = sim::to_seconds(cluster.fabric.one_way_latency);
+  p.tensor_bytes = static_cast<double>(elements) * sizeof(float);
+  p.density = std::clamp(density, 0.0, 1.0);
+  p.colocated = cluster.deployment == Deployment::kColocated;
+  return p;
+}
+
+}  // namespace
+
+OnlineSelector::OnlineSelector(SelectorConfig cfg) : cfg_(std::move(cfg)) {}
+
+OnlineSelector::BucketKey OnlineSelector::bucket(std::size_t elements,
+                                                 double density) {
+  int log2_size = 0;
+  for (std::size_t reach = 1; reach < elements; reach *= 2) ++log2_size;
+  const int decile = std::min(
+      9, static_cast<int>(std::clamp(density, 0.0, 1.0) * 10.0));
+  return {log2_size, decile};
+}
+
+SelectorDecision OnlineSelector::choose(std::size_t n_workers,
+                                        std::size_t elements, double density,
+                                        const Config& cfg,
+                                        const ClusterSpec& cluster) const {
+  const auto& registry = CollectiveRegistry::global();
+  const perfmodel::ModelParams params =
+      model_params(n_workers, elements, density, cluster);
+  const BucketKey key = bucket(elements, density);
+
+  SelectorDecision best;
+  bool found = false;
+  for (const std::string& candidate : cfg_.candidates) {
+    if (!registry.contains(candidate)) continue;
+    if (!capabilities_allow(registry.at(candidate).capabilities(), cfg,
+                            cluster)) {
+      continue;
+    }
+    const double predicted = perfmodel::predict_seconds(candidate, params);
+    auto it = ratio_.find({candidate, key});
+    const double ratio = it == ratio_.end() ? 1.0 : it->second;
+    const double corrected = predicted * ratio;
+    // Strict `<` keeps ties on the earlier candidate-list entry, so the
+    // choice is independent of map iteration details.
+    if (!found || corrected < best.corrected_seconds) {
+      best.algorithm = candidate;
+      best.predicted_seconds = predicted;
+      best.corrected_seconds = corrected;
+      found = true;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument(
+        "OnlineSelector: no registered candidate supports the requested "
+        "configuration");
+  }
+  return best;
+}
+
+void OnlineSelector::observe(const std::string& algorithm,
+                             std::size_t elements, double density,
+                             double predicted_seconds,
+                             double observed_seconds) {
+  if (predicted_seconds <= 0.0 || observed_seconds <= 0.0) return;
+  const double sample = observed_seconds / predicted_seconds;
+  const auto key = std::make_pair(algorithm, bucket(elements, density));
+  auto it = ratio_.find(key);
+  if (it == ratio_.end()) {
+    ratio_.emplace(key, sample);
+  } else {
+    it->second += cfg_.ewma_alpha * (sample - it->second);
+  }
+}
+
+double OnlineSelector::measured_density(
+    const std::vector<tensor::DenseTensor>& ts) {
+  if (ts.empty() || ts.front().size() == 0) return 1.0;
+  double sum = 0.0;
+  for (const auto& t : ts) {
+    sum += static_cast<double>(t.nnz()) / static_cast<double>(t.size());
+  }
+  return sum / static_cast<double>(ts.size());
+}
+
+RunStats OnlineSelector::run(std::vector<tensor::DenseTensor>& tensors,
+                             const Config& cfg, const ClusterSpec& cluster,
+                             SelectorDecision* decision, bool verify) {
+  if (tensors.empty()) {
+    throw std::invalid_argument("OnlineSelector::run needs >= 1 tensor");
+  }
+  const std::size_t elements = tensors.front().size();
+  const double density = measured_density(tensors);
+  const SelectorDecision d =
+      choose(tensors.size(), elements, density, cfg, cluster);
+  RunStats stats = run_collective(d.algorithm, tensors, cfg, cluster, verify);
+  observe(d.algorithm, elements, density, d.predicted_seconds,
+          sim::to_seconds(stats.completion_time));
+  if (decision != nullptr) *decision = d;
+  return stats;
+}
+
+}  // namespace omr::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/algorithm.h"
 #include "core/fabric.h"
 #include "core/stream_layout.h"
 #include "tensor/blocks.h"
@@ -24,11 +25,12 @@ Session::Session(const Config& cfg, std::size_t n_workers,
     throw std::invalid_argument("fixed-point slots support only sum");
   }
   if (spec_.faults.enabled()) {
-    // Fault injection is per-run state (crash events, verdicts, watchdog)
-    // and is wired by run_allreduce; a long-lived Session would carry it
-    // across collectives. Documented limitation — see docs/ROBUSTNESS.md.
+    // Fault injection is per-run state (crash events, verdicts, watchdog);
+    // a long-lived Session would carry it across collectives. Documented
+    // limitation — see docs/ROBUSTNESS.md.
     throw std::invalid_argument(
-        "fault injection is not supported on Session; use run_allreduce");
+        "fault injection is not supported on Session; dispatch one-shot "
+        "runs through CollectiveAlgorithm::run() (core::run_collective)");
   }
   const FabricConfig& fabric = spec_.fabric;
   if (!fabric.worker_start_offsets.empty() &&
@@ -108,8 +110,29 @@ void Session::rebuild_endpoints() {
 
 sim::Time Session::now() const { return simulator_->now(); }
 
+void Session::set_algorithm(const std::string& name) {
+  CollectiveAlgorithm& algo = CollectiveRegistry::global().at(name);
+  validate_capabilities(algo.capabilities(), cfg_, spec_, name);
+  algorithm_ = name;
+}
+
 RunStats Session::allreduce(std::vector<tensor::DenseTensor>& tensors,
                             bool verify) {
+  if (algorithm_ != "omnireduce") {
+    if (tensors.size() != n_workers_) {
+      throw std::invalid_argument("tensor count != worker count");
+    }
+    RunStats stats =
+        core::run_collective(algorithm_, tensors, cfg_, spec_, verify);
+    if (verify && stats.completed() && !stats.verified) {
+      throw std::logic_error("session result mismatch");
+    }
+    ++collectives_run_;
+    last_report_ = make_run_report("allreduce", stats, spec_, n_workers_,
+                                   tensors.front().size(), nullptr);
+    last_report_.algorithm = algorithm_;
+    return stats;
+  }
   return run_collective(tensors, verify, "allreduce");
 }
 

@@ -56,6 +56,20 @@ class Session {
                      std::vector<tensor::DenseTensor>& outputs,
                      bool verify = true);
 
+  /// Route subsequent allreduce() calls through the named registry
+  /// algorithm instead of this session's native engine. The name must be
+  /// registered (throws std::invalid_argument otherwise) and its
+  /// capabilities must cover this session's (Config, ClusterSpec).
+  ///
+  /// "omnireduce" (the default) restores the native path: the persistent
+  /// simulated cluster, with virtual time continuous across calls. Any
+  /// other algorithm runs on a fresh fabric per call — CollectiveAlgorithm
+  /// implementations keep per-call state on the stack — so now() does not
+  /// advance and the per-call completion_time is the whole story.
+  /// allgather() and broadcast() always use the native engine.
+  void set_algorithm(const std::string& name);
+  const std::string& algorithm() const { return algorithm_; }
+
   std::size_t n_workers() const { return n_workers_; }
   /// Absolute virtual time consumed so far.
   sim::Time now() const;
@@ -77,6 +91,7 @@ class Session {
 
   Config cfg_;
   ClusterSpec spec_;
+  std::string algorithm_ = "omnireduce";
   std::size_t n_workers_;
   std::size_t n_aggregators_;
 

@@ -2,11 +2,11 @@
 
 #include <stdexcept>
 
-#include "baselines/agsparse.h"
-#include "baselines/ring.h"
-#include "baselines/switchml.h"
+#include "baselines/zoo.h"
 #include "compress/compressors.h"
+#include "core/algorithm.h"
 #include "core/engine.h"
+#include "core/selector.h"
 #include "ddl/timing.h"
 #include "tensor/blocks.h"
 #include "tensor/coo.h"
@@ -21,24 +21,37 @@ std::string to_string(CommMethod m) {
     case CommMethod::kOmniReduceGdr: return "OmniReduce-GDR";
     case CommMethod::kSwitchMlServer: return "SwitchML*";
     case CommMethod::kAgSparseCompressed: return "AGsparse+1%comp";
+    case CommMethod::kAuto: return "Auto(selector)";
   }
   return "?";
 }
 
 namespace {
 
+/// Flat registry cluster matching the E2EConfig fabric: the zoo adapters
+/// derive their BaselineConfig from exactly these fields, so dispatching
+/// through the registry reproduces the direct-call numbers.
+core::ClusterSpec registry_cluster(const E2EConfig& cfg,
+                                   std::size_t n_workers) {
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = cfg.bandwidth_bps;
+  fabric.aggregator_bandwidth_bps = cfg.bandwidth_bps;
+  fabric.seed = cfg.seed;
+  return core::ClusterSpec::dedicated(n_workers, fabric);
+}
+
 /// Simulated collective time on the sampled gradients, in seconds.
 double measure_comm_s(std::vector<tensor::DenseTensor>& grads,
-                      CommMethod method, const E2EConfig& cfg) {
+                      CommMethod method, const E2EConfig& cfg,
+                      std::string* chosen) {
+  baselines::register_zoo();
   switch (method) {
-    case CommMethod::kNcclRing: {
-      baselines::BaselineConfig bc;
-      bc.bandwidth_bps = cfg.bandwidth_bps;
-      bc.seed = cfg.seed;
+    case CommMethod::kNcclRing:
       return sim::to_seconds(
-          baselines::ring_allreduce(grads, bc, /*verify=*/false)
+          core::run_collective("ring", grads, core::Config{},
+                               registry_cluster(cfg, grads.size()),
+                               /*verify=*/false)
               .completion_time);
-    }
     case CommMethod::kOmniReduceDpdk:
     case CommMethod::kOmniReduceRdma:
     case CommMethod::kOmniReduceGdr: {
@@ -46,30 +59,20 @@ double measure_comm_s(std::vector<tensor::DenseTensor>& grads,
                                     ? core::Transport::kDpdk
                                     : core::Transport::kRdma;
       core::Config ec = core::Config::for_transport(t);
-      core::FabricConfig fabric;
-      fabric.worker_bandwidth_bps = cfg.bandwidth_bps;
-      fabric.aggregator_bandwidth_bps = cfg.bandwidth_bps;
-      fabric.seed = cfg.seed;
-      device::DeviceModel dev;
-      dev.gdr = method == CommMethod::kOmniReduceGdr;
+      core::ClusterSpec spec = registry_cluster(cfg, grads.size());
+      spec.device.gdr = method == CommMethod::kOmniReduceGdr;
       return sim::to_seconds(
-          core::run_allreduce(
-              grads, ec, core::ClusterSpec::dedicated(grads.size(), fabric, dev),
-              /*verify=*/false)
+          core::run_collective("omnireduce", grads, ec, spec,
+                               /*verify=*/false)
               .completion_time);
     }
     case CommMethod::kSwitchMlServer: {
-      core::FabricConfig fabric;
-      fabric.worker_bandwidth_bps = cfg.bandwidth_bps;
-      fabric.aggregator_bandwidth_bps = cfg.bandwidth_bps;
-      fabric.seed = cfg.seed;
+      // The "switchml" adapter forces dense_mode and gdr=false itself.
       core::Config ec = core::Config::for_transport(core::Transport::kRdma);
-      ec.dense_mode = true;
-      device::DeviceModel dev;  // RDMA without GDR
       return sim::to_seconds(
-          core::run_allreduce(
-              grads, ec, core::ClusterSpec::dedicated(grads.size(), fabric, dev),
-              /*verify=*/false)
+          core::run_collective("switchml", grads, ec,
+                               registry_cluster(cfg, grads.size()),
+                               /*verify=*/false)
               .completion_time);
     }
     case CommMethod::kAgSparseCompressed: {
@@ -78,23 +81,31 @@ double measure_comm_s(std::vector<tensor::DenseTensor>& grads,
       const std::size_t nb = tensor::num_blocks(grads.front().size(), 256);
       const std::size_t k =
           std::max<std::size_t>(1, static_cast<std::size_t>(nb * 0.01));
-      std::vector<tensor::CooTensor> coo;
-      coo.reserve(grads.size());
+      std::vector<tensor::DenseTensor> compressed;
+      compressed.reserve(grads.size());
       for (const auto& g : grads) {
-        coo.push_back(
-            tensor::dense_to_coo(compress::block_top_k(g, 256, k)));
+        compressed.push_back(compress::block_top_k(g, 256, k));
       }
-      baselines::BaselineConfig bc;
-      bc.bandwidth_bps = cfg.bandwidth_bps;
-      bc.seed = cfg.seed;
-      std::vector<tensor::CooTensor> outs;
+      const std::size_t nnz = compressed.front().nnz();
       double t = sim::to_seconds(
-          baselines::agsparse_allreduce(coo, outs, bc).completion_time);
+          core::run_collective("agsparse", compressed, core::Config{},
+                               registry_cluster(cfg, grads.size()),
+                               /*verify=*/false)
+              .completion_time);
       // Dense -> sparse format conversion is required in practice and is
       // the dominant overhead at 100 Gbps (§6.2.2).
       t += sim::to_seconds(
-          tensor::conversion_cost(grads.front().size(), coo.front().nnz()));
+          tensor::conversion_cost(grads.front().size(), nnz));
       return t;
+    }
+    case CommMethod::kAuto: {
+      core::OnlineSelector selector;
+      core::SelectorDecision decision;
+      const core::RunStats stats = selector.run(
+          grads, core::Config::for_transport(core::Transport::kRdma),
+          registry_cluster(cfg, grads.size()), &decision);
+      if (chosen != nullptr) *chosen = decision.algorithm;
+      return sim::to_seconds(stats.completion_time);
     }
   }
   throw std::logic_error("unknown method");
@@ -118,9 +129,11 @@ E2EResult evaluate_training(const WorkloadProfile& profile, CommMethod method,
           static_cast<double>(g.size()) * 4.0;
   }
 
-  const double t_sampled = measure_comm_s(grads, method, cfg);
+  E2EResult r0;
+  const double t_sampled =
+      measure_comm_s(grads, method, cfg, &r0.chosen_algorithm);
 
-  E2EResult r;
+  E2EResult r = std::move(r0);
   r.t_comm_s = t_sampled * scale;
   r.t_compute_s = profile.compute_time_s;
   r.t_iter_s = iteration_time(r.t_compute_s, r.t_comm_s);

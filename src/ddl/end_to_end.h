@@ -13,8 +13,9 @@ enum class CommMethod {
   kOmniReduceDpdk,     // OmniReduce over lossy UDP/DPDK
   kOmniReduceRdma,     // OmniReduce over RDMA RC (staged copies)
   kOmniReduceGdr,      // OmniReduce over RDMA with GPU-direct
-  kSwitchMlServer,     // SwitchML*: streaming dense aggregation
-  kAgSparseCompressed  // AGsparse on 1% Block-Top-k compressed gradients
+  kSwitchMlServer,      // SwitchML*: streaming dense aggregation
+  kAgSparseCompressed,  // AGsparse on 1% Block-Top-k compressed gradients
+  kAuto                 // core::OnlineSelector picks per sampled tensor
 };
 
 std::string to_string(CommMethod m);
@@ -27,6 +28,8 @@ struct E2EResult {
   double scaling_factor = 0.0;
   double throughput = 0.0;    // samples/s (weak scaling)
   double comm_gbytes = 0.0;   // mean per-worker payload, extrapolated (GB)
+  /// Registry name the selector picked (kAuto only; empty otherwise).
+  std::string chosen_algorithm;
 };
 
 struct E2EConfig {

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "baselines/zoo.h"
+#include "core/selector.h"
+#include "sim/time.h"
 #include "tensor/blocks.h"
 
 namespace omr::ddl {
@@ -155,8 +158,21 @@ TrainResult train_distributed(const TrainerConfig& cfg,
   double density_sum = 0.0;
   const std::size_t density_bs = cfg.embed_dim * 4;
 
+  core::OnlineSelector selector;
+  core::ClusterSpec comm_cluster;
+  if (cfg.simulate_comm) {
+    baselines::register_zoo();
+    comm_cluster.fabric.worker_bandwidth_bps = cfg.comm_bandwidth_bps;
+    comm_cluster.fabric.aggregator_bandwidth_bps = cfg.comm_bandwidth_bps;
+    comm_cluster.fabric.seed = cfg.seed;
+    comm_cluster.n_aggregator_nodes = 1;
+    result.step_algorithm.reserve(cfg.iterations);
+    result.step_comm_ms.reserve(cfg.iterations);
+  }
+
   for (std::size_t it = 0; it < cfg.iterations; ++it) {
     tensor::DenseTensor global(L.total);
+    std::vector<tensor::DenseTensor> sent_grads;
     double loss = 0.0;
     for (std::size_t w = 0; w < cfg.n_workers; ++w) {
       tensor::DenseTensor grad(L.total);
@@ -173,11 +189,23 @@ TrainResult train_distributed(const TrainerConfig& cfg,
                 ? memories[w].step(grad, spec->compressor)
                 : spec->compressor(grad);
         density_sum += 1.0 - tensor::block_sparsity(sent, density_bs);
+        if (cfg.simulate_comm) sent_grads.push_back(sent);
         global.add_inplace(sent);
       } else {
         density_sum += 1.0 - tensor::block_sparsity(grad, density_bs);
+        if (cfg.simulate_comm) sent_grads.push_back(grad);
         global.add_inplace(grad);
       }
+    }
+    if (cfg.simulate_comm) {
+      // Simulate the step's collective on a copy of what each worker would
+      // send; the verified-exact averaging below applies the update, so
+      // approximate algorithms (sketch) never perturb the training math.
+      core::SelectorDecision decision;
+      const core::RunStats stats =
+          selector.run(sent_grads, core::Config{}, comm_cluster, &decision);
+      result.step_algorithm.push_back(decision.algorithm);
+      result.step_comm_ms.push_back(sim::to_milliseconds(stats.completion_time));
     }
     // Average and apply (the collective path is verified separately).
     theta.axpy_inplace(static_cast<float>(-cfg.lr / cfg.n_workers), global);

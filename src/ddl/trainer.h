@@ -30,6 +30,16 @@ struct TrainerConfig {
   std::size_t iterations = 300;
   std::size_t n_workers = 8;
   std::uint64_t seed = 1;
+
+  /// Simulate each step's gradient AllReduce through core::OnlineSelector
+  /// (replacing the static Parallax-style oracle): per iteration the
+  /// selector picks a registry algorithm from the gradients' measured
+  /// density, the simulated completion time feeds back into its EWMA, and
+  /// TrainResult records the per-step choice and time. The collective runs
+  /// on a copy of the worker gradients, so the training math (and every
+  /// loss/accuracy number) is bit-identical with this off or on.
+  bool simulate_comm = false;
+  double comm_bandwidth_bps = 10e9;
 };
 
 /// What gradient treatment each worker applies before averaging.
@@ -45,6 +55,10 @@ struct TrainResult {
   double test_accuracy = 0.0;
   double test_f1 = 0.0;             // F1 of the positive class
   double mean_gradient_block_density = 0.0;  // at bs = embed_dim*4 blocks
+  /// Per-iteration selector choice and simulated AllReduce time
+  /// (TrainerConfig::simulate_comm only; empty otherwise).
+  std::vector<std::string> step_algorithm;
+  std::vector<double> step_comm_ms;
 };
 
 /// Train with optional compression; `spec == nullopt` is the uncompressed

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace omr::perfmodel {
 
@@ -14,7 +15,17 @@ struct ModelParams {
   double alpha_s = 10e-6;        // one-way latency
   double tensor_bytes = 100e6;   // S (bytes)
   double density = 1.0;          // D in [0, 1]
+  /// Aggregator/server shards colocated on the worker NICs: each NIC
+  /// carries both roles, halving effective bandwidth for OmniReduce and
+  /// doubling per-NIC parameter-server volume.
+  bool colocated = false;
 };
+
+/// Expected union density across n_workers independent supports with
+/// per-worker density D: 1 - (1 - D)^N. The volume sparse split-allreduce
+/// algorithms (SparCML phase 2, Ok-Topk allgather, the count-sketch
+/// payload) actually carry.
+double union_density(const ModelParams& p);
 
 /// Ring AllReduce: T = 2(N-1)(alpha + S/(N*B)).
 double t_ring(const ModelParams& p);
@@ -35,5 +46,14 @@ double t_omnireduce_colocated(const ModelParams& p);
 /// vs ring = 2(N-1)/(N*D); vs AGsparse = 2(N-1).
 double speedup_vs_ring(const ModelParams& p);
 double speedup_vs_agsparse(const ModelParams& p);
+
+/// Closed-form prediction for a registered collective algorithm — the
+/// per-algorithm cost hooks behind core::OnlineSelector's prior. Covers
+/// every name core and baselines::register_zoo() register ("ring",
+/// "omnireduce", "oktopk", "sketch", "sparcml", ...); throws
+/// std::invalid_argument for unknown names. Models follow §3.4's
+/// alpha-beta style: latency terms plus bandwidth terms, ignoring local
+/// reduction exactly as t_ring/t_agsparse/t_omnireduce do.
+double predict_seconds(const std::string& algo, const ModelParams& p);
 
 }  // namespace omr::perfmodel

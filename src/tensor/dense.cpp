@@ -52,4 +52,14 @@ double max_abs_diff(const DenseTensor& a, const DenseTensor& b) {
   return m;
 }
 
+double l2_diff(const DenseTensor& a, const DenseTensor& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
 }  // namespace omr::tensor

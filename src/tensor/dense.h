@@ -59,4 +59,7 @@ DenseTensor reference_sum(std::span<const DenseTensor> tensors);
 /// Max absolute element-wise difference between two tensors.
 double max_abs_diff(const DenseTensor& a, const DenseTensor& b);
 
+/// L2 norm of the element-wise difference between two tensors.
+double l2_diff(const DenseTensor& a, const DenseTensor& b);
+
 }  // namespace omr::tensor

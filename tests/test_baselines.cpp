@@ -15,6 +15,10 @@
 namespace omr::baselines {
 namespace {
 
+// These tests pin the baseline implementations themselves; callers go
+// through the CollectiveRegistry adapters (see test_algorithms.cpp).
+using namespace detail;
+
 using tensor::DenseTensor;
 
 BaselineConfig fast_cfg() {

@@ -5,10 +5,16 @@
 // or dropped event shows up here as a diverging statistic.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "baselines/zoo.h"
 #include "core/cluster.h"
 #include "core/engine.h"
+#include "core/selector.h"
+#include "core/session.h"
 #include "sim/rng.h"
 #include "tensor/generators.h"
 
@@ -165,6 +171,67 @@ TEST(Determinism, CrashRestartScheduleMatchesGolden) {
   EXPECT_EQ(a.resyncs, 125u);
   EXPECT_EQ(a.worker_retries,
             (std::vector<std::uint64_t>{15, 13, 2, 12}));
+}
+
+// The online selector is a pure function of its prior observations — no
+// RNG, no map-iteration-order dependence — so a replayed step sequence
+// must reproduce the same per-step choices and, driven through a Session,
+// byte-identical RunReport JSON.
+
+TEST(Determinism, SelectorReplayMakesIdenticalChoices) {
+  baselines::register_zoo();
+  auto replay = [] {
+    OnlineSelector selector;
+    ClusterSpec cluster;
+    std::vector<std::string> choices;
+    RunStats last;
+    for (int step = 0; step < 6; ++step) {
+      sim::Rng rng(100 + static_cast<std::uint64_t>(step));
+      auto ts = tensor::make_multi_worker(
+          4, 65536, 256, step % 2 == 0 ? 0.5 : 0.99,
+          tensor::OverlapMode::kRandom, rng);
+      SelectorDecision d;
+      last = selector.run(ts, Config{}, cluster, &d);
+      choices.push_back(d.algorithm);
+    }
+    return std::make_pair(choices, last);
+  };
+  const auto a = replay();
+  const auto b = replay();
+  EXPECT_EQ(a.first, b.first);
+  expect_identical(a.second, b.second);
+}
+
+TEST(Determinism, SelectorDrivenSessionReportsAreByteIdentical) {
+  baselines::register_zoo();
+  auto replay = [] {
+    const Config cfg;
+    const ClusterSpec cluster = ClusterSpec::dedicated(2);
+    OnlineSelector selector;
+    Session session(cfg, 4, cluster);
+    std::ostringstream json;
+    for (int step = 0; step < 4; ++step) {
+      sim::Rng rng(200 + static_cast<std::uint64_t>(step));
+      auto ts = tensor::make_multi_worker(
+          4, 16384, 256, step % 2 == 0 ? 0.9 : 0.99,
+          tensor::OverlapMode::kRandom, rng);
+      const SelectorDecision d = selector.choose(
+          4, ts.front().size(), OnlineSelector::measured_density(ts), cfg,
+          cluster);
+      session.set_algorithm(d.algorithm);
+      const RunStats st = session.allreduce(ts);
+      selector.observe(d.algorithm, ts.front().size(),
+                       OnlineSelector::measured_density(ts),
+                       d.predicted_seconds,
+                       sim::to_seconds(st.completion_time));
+      session.last_report().write_json(json);
+      json << "\n";
+    }
+    return json.str();
+  };
+  const std::string a = replay();
+  EXPECT_EQ(a, replay());
+  EXPECT_NE(a.find("\"algorithm\""), std::string::npos);
 }
 
 TEST(Determinism, BurstLossRunsAreBitIdentical) {

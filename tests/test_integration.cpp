@@ -9,10 +9,8 @@
 
 #include <tuple>
 
-#include "baselines/agsparse.h"
-#include "baselines/parameter_server.h"
-#include "baselines/ring.h"
-#include "baselines/sparcml.h"
+#include "baselines/zoo.h"
+#include "core/algorithm.h"
 #include "core/engine.h"
 #include "core/sparse_kv.h"
 #include "ddl/workloads.h"
@@ -63,35 +61,44 @@ TEST(CrossAlgorithm, AllImplementationsAgree) {
     core::run_allreduce(ts, engine_cfg(), core::ClusterSpec::dedicated(2, engine_fabric(), gdr()));
     check(ts[0], "omnireduce");
   }
+  // Baselines dispatch through the registry; the default ClusterSpec fabric
+  // matches the historical BaselineConfig defaults exactly.
+  baselines::register_zoo();
+  core::ClusterSpec flat;
   {
     auto ts = base;
-    baselines::BaselineConfig bc;
-    baselines::ring_allreduce(ts, bc);
+    core::run_collective("ring", ts, core::Config{}, flat, /*verify=*/false);
     check(ts[2], "ring");
   }
   {
     auto ts = base;
-    baselines::BaselineConfig bc;
-    baselines::recursive_doubling_allreduce(ts, bc);
+    core::run_collective("recursive_doubling", ts, core::Config{}, flat,
+                         /*verify=*/false);
     check(ts[3], "recursive doubling");
   }
   {
     auto ts = base;
-    baselines::BaselineConfig bc;
-    baselines::ps_dense_allreduce(ts, bc, 3, false);
+    core::ClusterSpec ps_cluster = flat;
+    ps_cluster.n_aggregator_nodes = 3;
+    core::run_collective("ps", ts, core::Config{}, ps_cluster,
+                         /*verify=*/false);
     check(ts[1], "parameter server");
+  }
+  {
+    auto ts = base;
+    core::run_collective("sparcml_ssar", ts, core::Config{}, flat,
+                         /*verify=*/false);
+    check(ts[0], "sparcml ssar");
+  }
+  {
+    auto ts = base;
+    core::run_collective("agsparse", ts, core::Config{}, flat,
+                         /*verify=*/false);
+    check(ts[0], "agsparse");
   }
   {
     std::vector<tensor::CooTensor> coo;
     for (const auto& t : base) coo.push_back(tensor::dense_to_coo(t));
-    baselines::BaselineConfig bc;
-    tensor::CooTensor out;
-    baselines::sparcml_allreduce(coo, out, bc,
-                                 baselines::SparcmlVariant::kSsarSplitAllgather);
-    check(tensor::coo_to_dense(out), "sparcml ssar");
-    std::vector<tensor::CooTensor> outs;
-    baselines::agsparse_allreduce(coo, outs, bc);
-    check(tensor::coo_to_dense(outs[0]), "agsparse");
     core::SparseRunStats kv =
         core::run_sparse_allreduce(coo, engine_fabric(), 32);
     check(tensor::coo_to_dense(kv.result), "sparse kv");
@@ -141,15 +148,17 @@ TEST(ModelValidation, SimulationWithinModelEnvelope) {
 TEST(ModelValidation, RingSimMatchesClosedForm) {
   const std::size_t n = 1 << 20;
   sim::Rng rng(4);
+  baselines::register_zoo();
+  core::ClusterSpec flat;
   for (std::size_t workers : {2u, 4u, 8u}) {
     auto ts = tensor::make_multi_worker(workers, n, 256, 0.0,
                                         tensor::OverlapMode::kRandom, rng);
-    baselines::BaselineConfig bc;
-    const auto st = baselines::ring_allreduce(ts, bc, false);
+    const auto st = core::run_collective("ring", ts, core::Config{}, flat,
+                                         /*verify=*/false);
     perfmodel::ModelParams p;
     p.n_workers = workers;
-    p.bandwidth_bps = bc.bandwidth_bps;
-    p.alpha_s = sim::to_seconds(bc.one_way_latency);
+    p.bandwidth_bps = flat.fabric.worker_bandwidth_bps;
+    p.alpha_s = sim::to_seconds(flat.fabric.one_way_latency);
     p.tensor_bytes = static_cast<double>(n) * 4.0;
     EXPECT_NEAR(sim::to_seconds(st.completion_time), perfmodel::t_ring(p),
                 perfmodel::t_ring(p) * 0.12)
