@@ -1,0 +1,132 @@
+// Wall-clock harness for the conservative parallel simulation engine
+// (OMR_SIM_THREADS): a workers x threads x topology grid, each cell one
+// deterministic AllReduce. Every cell re-runs the identical workload at
+// thread counts {1, 2, 4} — threads=1 is the exact serial engine — checks
+// the RunStats are byte-identical (the engine's contract), and reports
+// host wall-clock per run so speedup (or, on few-core hosts,
+// synchronization overhead) lands as a recorded number.
+//
+// Usage:
+//   bench_psim [--smoke]
+//
+// --smoke drops the 256-worker cell and shrinks tensors to CI scale.
+// Record full-run results in EXPERIMENTS.md alongside the host's CPU
+// count: windowed synchronization cannot speed up a run on fewer cores
+// than partitions, so 1-CPU numbers measure overhead, not speedup.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/engine.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kBw = 10e9;
+
+struct Cell {
+  const char* topo;  // "ideal" | "two-tier"
+  std::size_t workers;
+  std::size_t racks;       // two-tier only
+  std::size_t elements;    // per-worker tensor elements
+};
+
+struct ScopedThreads {
+  explicit ScopedThreads(std::size_t n) {
+    std::snprintf(buf_, sizeof(buf_), "%zu", n);
+    setenv("OMR_SIM_THREADS", buf_, 1);
+  }
+  ~ScopedThreads() { unsetenv("OMR_SIM_THREADS"); }
+  char buf_[16];
+};
+
+core::RunStats run_cell(const Cell& c, std::size_t threads, double* wall_s) {
+  ScopedThreads env(threads);
+  sim::Rng rng(42);
+  auto tensors =
+      tensor::make_multi_worker(c.workers, c.elements, 256, 0.9,
+                                tensor::OverlapMode::kRandom, rng);
+  core::Config cfg = core::Config::for_transport(core::Transport::kRdma);
+  core::FabricConfig fabric;
+  fabric.worker_bandwidth_bps = kBw;
+  fabric.aggregator_bandwidth_bps = kBw;
+  fabric.seed = 7;
+  core::ClusterSpec cluster = core::ClusterSpec::colocated(fabric);
+  if (std::strcmp(c.topo, "two-tier") == 0) {
+    cluster.topology = core::TopologySpec::two_tier_racks(c.racks, 2.0);
+  }
+  const Clock::time_point t0 = Clock::now();
+  core::RunStats stats =
+      core::run_allreduce(tensors, cfg, cluster, /*verify=*/false);
+  *wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return stats;
+}
+
+bool same_run(const core::RunStats& a, const core::RunStats& b) {
+  return a.completion_time == b.completion_time &&
+         a.worker_finish == b.worker_finish &&
+         a.worker_data_bytes == b.worker_data_bytes &&
+         a.total_messages == b.total_messages &&
+         a.retransmissions == b.retransmissions &&
+         a.dropped_messages == b.dropped_messages && a.rounds == b.rounds &&
+         a.acks == b.acks && a.duplicate_resends == b.duplicate_resends;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t scale = smoke ? 8 : 1;
+
+  std::vector<Cell> cells = {
+      {"ideal", 16, 0, 262144 / scale},
+      {"ideal", 64, 0, 65536 / scale},
+      {"two-tier", 16, 4, 262144 / scale},
+      {"two-tier", 64, 4, 65536 / scale},
+  };
+  if (!smoke) cells.push_back({"two-tier", 256, 8, 16384});
+
+  constexpr std::size_t kThreads[] = {1, 2, 4};
+
+  std::printf("parallel engine wall-clock (host CPUs: %u)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-9s %8s %9s | %10s %10s %10s | %s\n", "topology", "workers",
+              "elements", "t=1 (s)", "t=2 (s)", "t=4 (s)", "identical");
+
+  bool all_identical = true;
+  for (const Cell& c : cells) {
+    double wall[3] = {};
+    core::RunStats base;
+    bool identical = true;
+    for (std::size_t i = 0; i < 3; ++i) {
+      core::RunStats s = run_cell(c, kThreads[i], &wall[i]);
+      if (i == 0) {
+        base = std::move(s);
+      } else {
+        identical = identical && same_run(base, s);
+      }
+    }
+    all_identical = all_identical && identical;
+    std::printf("%-9s %8zu %9zu | %10.3f %10.3f %10.3f | %s\n", c.topo,
+                c.workers, c.elements, wall[0], wall[1], wall[2],
+                identical ? "yes" : "NO — MISMATCH");
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: parallel run diverged from serial\n");
+    return 1;
+  }
+  return 0;
+}

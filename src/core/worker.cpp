@@ -15,7 +15,7 @@
 namespace omr::core {
 
 Worker::Worker(const Config& cfg, net::Network& net, std::uint32_t wid)
-    : cfg_(cfg), net_(net), sim_(net.simulator()), wid_(wid) {}
+    : cfg_(cfg), net_(net), wid_(wid) {}
 
 void Worker::bind(net::EndpointId self,
                   std::vector<net::EndpointId> agg_of_stream) {
@@ -39,7 +39,7 @@ void Worker::start(tensor::DenseTensor& tensor, const StreamLayout& layout,
   }
   // Sessions reuse workers across collectives: all timing is relative to
   // the virtual time at which this collective starts.
-  call_start_ = sim_.now();
+  call_start_ = sim().now();
   start_time_ = call_start_ + (cfg_.charge_bitmap_cost
                                    ? device_.bitmap_cost(tensor.size(),
                                                          cfg_.block_size)
@@ -187,7 +187,7 @@ void Worker::note_in_flight(std::size_t stream, bool value) {
   in_flight_slots_ += value ? 1 : static_cast<std::size_t>(-1);
   if (tracer_ != nullptr) {
     tracer_->counter_sample(telemetry::worker_pid(wid_), "in_flight_slots",
-                            sim_.now(),
+                            sim().now(),
                             static_cast<double>(in_flight_slots_));
   }
 }
@@ -195,7 +195,7 @@ void Worker::note_in_flight(std::size_t stream, bool value) {
 void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
                          bool is_bootstrap) {
   sim::Time ready = std::max(
-      {sim_.now(), start_time_, staging_deadline(*pkt)});
+      {sim().now(), start_time_, staging_deadline(*pkt)});
   StreamState& st = states_[stream];
   if (faults_ != nullptr) {
     // Straggler injection: every fresh packet pays a seeded per-worker
@@ -218,7 +218,7 @@ void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
   } else if (pkt->columns.empty()) {
     ++acks_sent_;
     if (tracer_ != nullptr) {
-      tracer_->ack_tx(telemetry::worker_pid(wid_), sim_.now(),
+      tracer_->ack_tx(telemetry::worker_pid(wid_), sim().now(),
                       pkt->stream);
     }
   } else {
@@ -226,11 +226,26 @@ void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
   }
   note_in_flight(stream, true);
   const net::EndpointId agg = agg_of_stream_[stream];
-  if (ready <= sim_.now()) {
+  if (ready <= sim().now()) {
     net_.send(self_, agg, pkt);
     arm_timer(stream);
+  } else if (net_.partitioned()) {
+    // The serial engine orders this send among same-fire-time events by
+    // where its scheduling action fell; capture that birth key and
+    // re-publish it at fire time so the commit sort reproduces the order.
+    // Partitioned mode only: the 16-byte capture would push the serial
+    // closure past the event queue's inline buffer.
+    sim().schedule_at(
+        ready, [this, stream, agg, pkt, epoch = epoch_,
+                birth = net::deferred_trigger_birth(sim().now())]() {
+          if (epoch != epoch_) return;
+          if (faults_ != nullptr && faults_->aborted()) return;
+          net::TriggerRankScope rank(birth);
+          net_.send(self_, agg, pkt);
+          arm_timer(stream);
+        });
   } else {
-    sim_.schedule_at(ready, [this, stream, agg, pkt, epoch = epoch_]() {
+    sim().schedule_at(ready, [this, stream, agg, pkt, epoch = epoch_]() {
       // A crash between scheduling and firing voids the send (the epoch
       // advanced); an aborted run stops pumping so the queue drains.
       if (epoch != epoch_) return;
@@ -244,12 +259,18 @@ void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
 void Worker::arm_timer(std::size_t stream) {
   if (!cfg_.loss_recovery) return;
   StreamState& st = states_[stream];
-  if (st.timer != 0) sim_.cancel(st.timer);
+  if (st.timer != 0) sim().cancel(st.timer);
   const sim::Time timeout =
       faults_ != nullptr ? faults_->retransmit_timeout(wid_, st.attempts)
                          : cfg_.retransmit_timeout;
-  st.timer =
-      sim_.schedule_after(timeout, [this, stream]() { on_timeout(stream); });
+  // Timers re-publish the arming event's birth key so retransmissions tie
+  // with serial schedule order (they only fire under loss; see above).
+  st.timer = sim().schedule_after(
+      timeout,
+      [this, stream, birth = net::deferred_trigger_birth(sim().now())]() {
+        net::TriggerRankScope rank(birth);
+        on_timeout(stream);
+      });
 }
 
 void Worker::on_timeout(std::size_t stream) {
@@ -259,9 +280,9 @@ void Worker::on_timeout(std::size_t stream) {
   if (faults_ != nullptr) {
     if (!alive_ || faults_->aborted()) return;
     ++st.attempts;
-    if (faults_->give_up(st.attempts, sim_.now() - st.pending_since)) {
+    if (faults_->give_up(st.attempts, sim().now() - st.pending_since)) {
       faults_->declare_aggregator_dead(
-          agg_of_stream_[stream], sim_.now(),
+          agg_of_stream_[stream], sim().now(),
           "worker " + std::to_string(wid_) + " gave up on stream " +
               std::to_string(stream) + " after " +
               std::to_string(st.attempts) + " attempts");
@@ -270,7 +291,7 @@ void Worker::on_timeout(std::size_t stream) {
   }
   ++retransmissions_;
   if (tracer_ != nullptr) {
-    tracer_->retransmit_fire(telemetry::worker_pid(wid_), sim_.now(),
+    tracer_->retransmit_fire(telemetry::worker_pid(wid_), sim().now(),
                              static_cast<std::uint32_t>(stream),
                              st.last_sent->payload_bytes());
   }
@@ -338,13 +359,13 @@ void Worker::handle_result(const ResultPacket& r) {
   }
   st.expect_ver ^= 1;
   if (st.timer != 0) {
-    sim_.cancel(st.timer);
+    sim().cancel(st.timer);
     st.timer = 0;
   }
   st.attempts = 0;
   note_in_flight(r.stream, false);
   if (tracer_ != nullptr) {
-    tracer_->round_advance(telemetry::worker_pid(wid_), sim_.now(), r.stream,
+    tracer_->round_advance(telemetry::worker_pid(wid_), sim().now(), r.stream,
                            r.columns.size());
   }
   // The acknowledged packet is dead: recycle its block buffers for the
@@ -392,12 +413,12 @@ void Worker::crash() {
   ++crashes_;
   ++epoch_;  // void every deferred send scheduled before the crash
   if (tracer_ != nullptr) {
-    tracer_->worker_crash(telemetry::worker_pid(wid_), sim_.now());
+    tracer_->worker_crash(telemetry::worker_pid(wid_), sim().now());
   }
   for (std::size_t s = 0; s < states_.size(); ++s) {
     StreamState& st = states_[s];
     if (st.timer != 0) {
-      sim_.cancel(st.timer);
+      sim().cancel(st.timer);
       st.timer = 0;
     }
     note_in_flight(s, false);
@@ -411,7 +432,7 @@ void Worker::restart() {
   if (alive_) return;
   alive_ = true;
   if (tracer_ != nullptr) {
-    tracer_->worker_restart(telemetry::worker_pid(wid_), sim_.now());
+    tracer_->worker_restart(telemetry::worker_pid(wid_), sim().now());
   }
   if (start_pending_) {
     // The collective began while we were down: enter it from scratch.
@@ -434,10 +455,10 @@ void Worker::send_resync(std::size_t stream) {
   req->header_bytes = cfg_.header_bytes;
   st.last_sent = req;  // the retransmission timer re-sends the request
   st.attempts = 0;
-  st.pending_since = sim_.now();
+  st.pending_since = sim().now();
   ++resyncs_sent_;
   if (tracer_ != nullptr) {
-    tracer_->resync(telemetry::worker_pid(wid_), sim_.now(),
+    tracer_->resync(telemetry::worker_pid(wid_), sim().now(),
                     static_cast<std::uint32_t>(stream));
   }
   note_in_flight(stream, true);
@@ -450,7 +471,7 @@ void Worker::handle_resync(const ResyncResponse& res) {
   if (!st.resyncing || st.done) return;  // stale duplicate
   st.resyncing = false;
   if (st.timer != 0) {
-    sim_.cancel(st.timer);
+    sim().cancel(st.timer);
     st.timer = 0;
   }
   note_in_flight(res.stream, false);
@@ -493,7 +514,7 @@ void Worker::note_stream_done(std::size_t stream) {
     // finished staging the whole tensor through host memory (Appendix B).
     const sim::Time staging =
         call_start_ + device_.full_copy_cost(tensor_->size() * 4);
-    finish_time_ = std::max(sim_.now(), staging);
+    finish_time_ = std::max(sim().now(), staging);
   }
 }
 

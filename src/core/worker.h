@@ -123,9 +123,14 @@ class Worker final : public net::Endpoint {
   /// occupancy series. No-op without a tracer.
   void note_in_flight(std::size_t stream, bool value);
 
+  /// The simulator this worker schedules on. Resolved per use (not bound
+  /// at construction) so the parallel engine can route the worker to its
+  /// partition's event queue; serial mode returns the network's own
+  /// simulator, exactly as before.
+  sim::Simulator& sim() const { return net_.simulator(); }
+
   Config cfg_;
   net::Network& net_;
-  sim::Simulator& sim_;
   std::uint32_t wid_;
   net::EndpointId self_ = -1;
   std::vector<net::EndpointId> agg_of_stream_;

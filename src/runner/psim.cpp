@@ -1,0 +1,90 @@
+#include "runner/psim.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/thread_pool.h"
+
+namespace omr::runner {
+
+std::size_t sim_threads_from_env() {
+  const char* env = std::getenv("OMR_SIM_THREADS");
+  if (env == nullptr) return 1;
+  if (std::strcmp(env, "auto") == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  const long v = std::atol(env);
+  return v < 1 ? 1 : static_cast<std::size_t>(v);
+}
+
+SimDomain::SimDomain(std::vector<sim::Simulator*> sims, sim::Time lookahead)
+    : sims_(std::move(sims)), lookahead_(lookahead) {
+  if (sims_.empty()) {
+    throw std::invalid_argument("SimDomain needs at least one partition");
+  }
+  for (sim::Simulator* s : sims_) {
+    if (s == nullptr) throw std::invalid_argument("null partition simulator");
+  }
+  if (lookahead_ <= 0) {
+    throw std::invalid_argument("SimDomain lookahead must be positive");
+  }
+}
+
+void SimDomain::run(
+    const std::function<void(std::size_t, sim::Time)>& run_partition,
+    const std::function<void()>& commit,
+    const std::function<bool()>& pending) {
+  const std::size_t n = sims_.size();
+  std::unique_ptr<ThreadPool> pool;
+  if (n > 1) pool = std::make_unique<ThreadPool>(n - 1);
+
+  while (true) {
+    sim::Time next = sim::kTimeInfinity;
+    for (sim::Simulator* s : sims_) {
+      next = std::min(next, s->next_event_time());
+    }
+    if (next == sim::kTimeInfinity) {
+      // Every partition is idle. Deliveries may still be waiting (e.g.
+      // sends issued before the first window): committing them schedules
+      // new events and the loop continues; otherwise the run is done.
+      if (!pending()) break;
+      commit();
+      ++stats_.sync_rounds;
+      continue;
+    }
+    // Safe horizon: nothing committed at this round's barrier can fire
+    // before next + lookahead, so [next, horizon] is closed under the
+    // events the partitions already own.
+    const sim::Time horizon = next > sim::kTimeInfinity - lookahead_
+                                  ? sim::kTimeInfinity - 1
+                                  : next + lookahead_ - 1;
+    for (std::size_t p = 1; p < n; ++p) {
+      pool->submit([&run_partition, p, horizon] { run_partition(p, horizon); });
+    }
+    run_partition(0, horizon);
+    if (pool != nullptr) {
+      const auto stall_start = std::chrono::steady_clock::now();
+      pool->wait_all();
+      stats_.horizon_stall_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        stall_start)
+              .count();
+    }
+    commit();
+    ++stats_.sync_rounds;
+  }
+
+  stats_.partition_events.clear();
+  stats_.partition_events.reserve(n);
+  for (sim::Simulator* s : sims_) {
+    stats_.partition_events.push_back(s->events_executed());
+  }
+}
+
+}  // namespace omr::runner

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace omr::runner {
+
+/// OMR_SIM_THREADS: intra-run parallelism for the conservative parallel
+/// simulation engine. Unset or "1" selects the serial engine (the default).
+/// "auto" resolves to hardware_concurrency. Explicit numeric values are
+/// honored as given (clamped to >= 1): determinism is independent of the
+/// thread count, so oversubscribing only costs wall-clock.
+std::size_t sim_threads_from_env();
+
+/// Counters from one SimDomain::run (reported via telemetry when the
+/// TelemetryConfig::psim_stats opt-in is set).
+struct SimDomainStats {
+  std::uint64_t sync_rounds = 0;
+  /// Events executed per partition over the whole run; their sum equals
+  /// the serial engine's event count exactly (every logical event runs in
+  /// exactly one partition).
+  std::vector<std::uint64_t> partition_events;
+  /// Wall-clock the caller spent blocked at window barriers waiting for
+  /// the slowest partition (load-imbalance indicator).
+  double horizon_stall_seconds = 0.0;
+};
+
+/// Conservative window-synchronized driver for a set of partitioned event
+/// queues. Each round computes the global safe horizon
+///
+///   N = min over partitions of next_event_time()
+///   H = N + lookahead - 1
+///
+/// and executes every partition up to H concurrently (partition 0 on the
+/// calling thread, the rest on a ThreadPool). Any cross-partition effect a
+/// partition produces inside the window cannot fire before N + lookahead
+/// > H, so committing all of them at the barrier — on the calling thread,
+/// in a deterministic order chosen by `commit` — never schedules into a
+/// partition's past. The loop ends when every partition is idle and
+/// `pending` reports nothing left to commit.
+///
+/// The driver is generic over the work: `run_partition(p, horizon)` must
+/// execute partition p's events with timestamp <= horizon and advance its
+/// clock to horizon; `commit()` drains cross-partition effects; `pending()`
+/// reports whether commits remain while all partitions are idle.
+class SimDomain {
+ public:
+  /// `sims` are the per-partition event queues (non-owning). `lookahead`
+  /// must be positive: a zero-lookahead domain cannot make conservative
+  /// progress (the engine falls back to serial instead).
+  SimDomain(std::vector<sim::Simulator*> sims, sim::Time lookahead);
+
+  void run(const std::function<void(std::size_t, sim::Time)>& run_partition,
+           const std::function<void()>& commit,
+           const std::function<bool()>& pending);
+
+  const SimDomainStats& stats() const { return stats_; }
+
+ private:
+  std::vector<sim::Simulator*> sims_;
+  sim::Time lookahead_;
+  SimDomainStats stats_;
+};
+
+}  // namespace omr::runner

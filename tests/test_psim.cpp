@@ -1,0 +1,465 @@
+// Conservative parallel engine (OMR_SIM_THREADS): every run must be
+// byte-identical to the serial engine at any thread count. These tests
+// drive the same golden setups as test_determinism through the partitioned
+// engine and compare every statistic — plus partition-boundary edge cases
+// (horizon-adjacent events, zero lookahead, fallback conditions) and the
+// deterministic cross-partition commit order at the Network level.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/engine.h"
+#include "net/network.h"
+#include "runner/psim.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+namespace omr::core {
+namespace {
+
+/// Set/restore one environment variable for the scope of a test.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+struct RunSetup {
+  Config cfg;
+  ClusterSpec cluster;
+  std::size_t n_workers = 4;
+  std::size_t elements = 65536;
+  double sparsity = 0.85;
+};
+
+RunSetup make_setup(Transport transport, double loss_rate) {
+  RunSetup s;
+  s.cfg = Config::for_transport(transport);
+  FabricConfig fabric;
+  fabric.loss_rate = loss_rate;
+  fabric.seed = 7;
+  s.cluster = ClusterSpec::dedicated(4, fabric);
+  return s;
+}
+
+RunStats run_once(const RunSetup& s) {
+  sim::Rng rng(42);
+  auto tensors =
+      tensor::make_multi_worker(s.n_workers, s.elements, s.cfg.block_size,
+                                s.sparsity, tensor::OverlapMode::kRandom, rng);
+  return run_allreduce(tensors, s.cfg, s.cluster, /*verify=*/false);
+}
+
+RunStats run_with_threads(const RunSetup& s, const char* threads) {
+  ScopedEnv env("OMR_SIM_THREADS", threads);
+  return run_once(s);
+}
+
+void expect_identical(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.worker_finish, b.worker_finish);
+  EXPECT_EQ(a.worker_data_bytes, b.worker_data_bytes);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.acks, b.acks);
+  EXPECT_EQ(a.duplicate_resends, b.duplicate_resends);
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].tx_bytes, b.links[i].tx_bytes);
+    EXPECT_EQ(a.links[i].tx_messages, b.links[i].tx_messages);
+    EXPECT_EQ(a.links[i].dropped_messages, b.links[i].dropped_messages);
+  }
+}
+
+/// Serial vs every requested thread count on one setup.
+void expect_parallel_matches_serial(const RunSetup& s) {
+  const RunStats serial = run_with_threads(s, "1");
+  for (const char* threads : {"2", "4", "8"}) {
+    SCOPED_TRACE(std::string("OMR_SIM_THREADS=") + threads);
+    expect_identical(serial, run_with_threads(s, threads));
+  }
+}
+
+TEST(Psim, LosslessRdmaMatchesSerialGolden) {
+  // The determinism suite's pre-topology golden pin, through the parallel
+  // engine: the partitioned run must land on the exact hardcoded values.
+  const RunSetup s = make_setup(Transport::kRdma, 0.0);
+  const RunStats a = run_with_threads(s, "4");
+  EXPECT_EQ(a.completion_time, 467621);
+  EXPECT_EQ(a.worker_finish,
+            (std::vector<sim::Time>{464999, 465873, 466747, 467621}));
+  EXPECT_EQ(a.worker_data_bytes,
+            (std::vector<std::uint64_t>{38912, 38912, 38912, 38912}));
+  EXPECT_EQ(a.total_messages, 1176u);
+  EXPECT_EQ(a.rounds, 375u);
+  expect_parallel_matches_serial(s);
+}
+
+TEST(Psim, LossyFabricFallsBackToSerialGolden) {
+  // Fabric-level (Bernoulli) loss draws one shared RNG: the engine must
+  // fall back to serial and still reproduce the lossy golden pin.
+  const RunSetup s = make_setup(Transport::kDpdk, 0.01);
+  const RunStats a = run_with_threads(s, "4");
+  EXPECT_EQ(a.completion_time, 1353163);
+  EXPECT_EQ(a.retransmissions, 78u);
+  EXPECT_EQ(a.dropped_messages, 32u);
+  EXPECT_EQ(a.duplicate_resends, 38u);
+  expect_identical(a, run_with_threads(s, "1"));
+}
+
+TEST(Psim, TwoTierRackAlignedMatchesSerial) {
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cluster.topology = TopologySpec::two_tier_racks(2, 4.0);
+  expect_parallel_matches_serial(s);
+}
+
+TEST(Psim, TwoTierManyWorkersOversubscribedMatchesSerial) {
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.n_workers = 16;
+  s.cluster = ClusterSpec::dedicated(4, s.cluster.fabric);
+  s.cluster.topology = TopologySpec::two_tier_racks(4, 4.0);
+  expect_parallel_matches_serial(s);
+}
+
+TEST(Psim, ColocatedMatchesSerial) {
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cluster = ClusterSpec::colocated(s.cluster.fabric);
+  expect_parallel_matches_serial(s);
+}
+
+TEST(Psim, SpineBurstLossMatchesSerial) {
+  // Per-link loss processes run inside the single-threaded commit, each
+  // drawing its own RNG in deterministic commit order — unlike the fabric-
+  // level process, they are allowed in partitioned mode.
+  RunSetup s = make_setup(Transport::kDpdk, 0.0);
+  s.cfg.retransmit_timeout = sim::microseconds(500);
+  s.n_workers = 8;
+  s.cluster = ClusterSpec::dedicated(4, s.cluster.fabric);
+  s.cluster.topology = TopologySpec::two_tier_racks(2, 2.0);
+  s.cluster.topology.spine_burst_loss.p_good_to_bad = 0.02;
+  s.cluster.topology.spine_burst_loss.p_bad_to_good = 0.25;
+  const RunStats serial = run_with_threads(s, "1");
+  EXPECT_GT(serial.dropped_messages, 0u);
+  expect_parallel_matches_serial(s);
+}
+
+TEST(Psim, StragglerFaultConfigFallsBackToSerialGolden) {
+  // Fault injection forces the serial engine; the straggler golden pin
+  // must hold with OMR_SIM_THREADS set.
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cluster.faults.stragglers.mean_delay_ns = 20000.0;
+  const RunStats a = run_with_threads(s, "4");
+  ASSERT_TRUE(a.completed());
+  EXPECT_EQ(a.completion_time, 473036);
+  EXPECT_EQ(a.worker_fault_stall_ns,
+            (std::vector<sim::Time>{5617803, 6258407, 6115003, 5572876}));
+}
+
+TEST(Psim, ZeroLookaheadFallsBackAndCompletes) {
+  // one_way_latency = 0 gives no usable lookahead: the engine must warn
+  // and run serially — never deadlock, never diverge.
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cluster.fabric.one_way_latency = 0;
+  const RunStats serial = run_with_threads(s, "1");
+  expect_identical(serial, run_with_threads(s, "8"));
+  EXPECT_GT(serial.rounds, 0u);
+}
+
+TEST(Psim, HorizonBoundaryStressTinyLookahead) {
+  // A 2 ns one-way latency shrinks the safe window to 2 ns: nearly every
+  // event lands exactly on a horizon boundary, and the wheel/heap window
+  // machinery churns through thousands of sync rounds. Any off-by-one in
+  // the horizon arithmetic (events at H vs. H-1) diverges here.
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cluster.fabric.one_way_latency = 2;
+  s.elements = 16384;
+  expect_parallel_matches_serial(s);
+}
+
+TEST(Psim, RepeatedParallelRunsAreSelfConsistent) {
+  // The OS scheduler randomizes which partition finishes a window first;
+  // commit order must not care. Run the parallel engine repeatedly and
+  // demand identical statistics every time.
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cluster.topology = TopologySpec::two_tier_racks(2, 4.0);
+  ScopedEnv env("OMR_SIM_THREADS", "4");
+  const RunStats first = run_once(s);
+  for (int i = 0; i < 4; ++i) expect_identical(first, run_once(s));
+}
+
+TEST(Psim, ReportJsonIsByteIdenticalToSerial) {
+  // Default telemetry (off): the serialized RunReport — including the
+  // simulator event count — must be byte-identical between engines.
+  auto report_json = [](const char* threads) {
+    ScopedEnv env("OMR_SIM_THREADS", threads);
+    RunSetup s = make_setup(Transport::kRdma, 0.0);
+    s.cluster.topology = TopologySpec::two_tier_racks(2, 4.0);
+    sim::Rng rng(42);
+    auto tensors = tensor::make_multi_worker(4, 65536, s.cfg.block_size, 0.85,
+                                             tensor::OverlapMode::kRandom, rng);
+    const telemetry::RunReport report = run_allreduce_report(
+        tensors, s.cfg, s.cluster, /*verify=*/false, "psim");
+    std::ostringstream os;
+    report.write_json(os);
+    return os.str();
+  };
+  const std::string serial = report_json("1");
+  EXPECT_EQ(serial, report_json("2"));
+  EXPECT_EQ(serial, report_json("4"));
+  EXPECT_NE(serial.find("\"sim_events_executed\""), std::string::npos);
+  // The psim *stats section* stays off by default (the run label above is
+  // also "psim", so match the JSON key, not the bare string).
+  EXPECT_EQ(serial.find(",\"psim\":{"), std::string::npos);
+}
+
+TEST(Psim, PsimStatsSectionRecordsPartitionCounters) {
+  ScopedEnv env("OMR_SIM_THREADS", "4");
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cluster.topology = TopologySpec::two_tier_racks(2, 4.0);
+  s.cluster.telemetry.psim_stats = true;
+  sim::Rng rng(42);
+  auto tensors = tensor::make_multi_worker(4, 65536, s.cfg.block_size, 0.85,
+                                           tensor::OverlapMode::kRandom, rng);
+  const telemetry::RunReport report = run_allreduce_report(
+      tensors, s.cfg, s.cluster, /*verify=*/false, "psim");
+  // 4 threads clamp to the 2 racks: rack-aligned partitioning.
+  EXPECT_EQ(report.psim.partitions, 2u);
+  EXPECT_GT(report.psim.sync_rounds, 0u);
+  ASSERT_EQ(report.psim.partition_events.size(), 2u);
+  std::uint64_t total = 0;
+  for (std::uint64_t e : report.psim.partition_events) {
+    EXPECT_GT(e, 0u);
+    total += e;
+  }
+  // Every logical event runs in exactly one partition: the sum equals the
+  // count the serial engine reports for the same run.
+  EXPECT_EQ(total, report.sim_events_executed);
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_NE(os.str().find("\"psim\""), std::string::npos);
+}
+
+TEST(Psim, SimEventCountMatchesSerialExactly) {
+  auto events_for = [](const char* threads) {
+    ScopedEnv env("OMR_SIM_THREADS", threads);
+    RunSetup s = make_setup(Transport::kRdma, 0.0);
+    sim::Rng rng(42);
+    auto tensors = tensor::make_multi_worker(4, 65536, s.cfg.block_size, 0.85,
+                                             tensor::OverlapMode::kRandom, rng);
+    return run_allreduce_report(tensors, s.cfg, s.cluster, /*verify=*/false,
+                                "ev")
+        .sim_events_executed;
+  };
+  const std::uint64_t serial = events_for("1");
+  EXPECT_GT(serial, 0u);
+  EXPECT_EQ(serial, events_for("4"));
+}
+
+// --- Network-level commit order ------------------------------------------
+
+struct TestMessage final : net::Message {
+  explicit TestMessage(std::size_t bytes) : bytes(bytes) {}
+  std::size_t wire_bytes() const override { return bytes; }
+  std::size_t bytes;
+};
+
+/// Records delivery order; used to pin the deterministic commit order of
+/// cross-partition mailboxes directly at the Network layer.
+class RecordingEndpoint final : public net::Endpoint {
+ public:
+  explicit RecordingEndpoint(std::vector<std::pair<net::EndpointId, sim::Time>>*
+                                 log,
+                             sim::Simulator* sim)
+      : log_(log), sim_(sim) {}
+  void on_message(net::EndpointId from, const net::MessagePtr&) override {
+    log_->emplace_back(from, sim_->now());
+  }
+
+ private:
+  std::vector<std::pair<net::EndpointId, sim::Time>>* log_;
+  sim::Simulator* sim_;
+};
+
+TEST(Psim, NetworkCommitOrderIsDeterministicAcrossPartitions) {
+  // Two partitions send to one destination at identical virtual times.
+  // Whatever order the partitions executed in, the commit must reserve the
+  // destination's RX in (send time, source endpoint, sequence) order, so
+  // delivery times per source are a pure function of the virtual schedule.
+  auto run_case = [](bool reverse_issue_order) {
+    sim::Simulator serial_sim;
+    net::Network net(serial_sim, /*one_way_latency=*/1000);
+    std::vector<net::NicId> nics;
+    for (int i = 0; i < 3; ++i) nics.push_back(net.add_nic({}));
+
+    sim::Simulator part0, part1;
+    std::vector<std::pair<net::EndpointId, sim::Time>> log;
+    RecordingEndpoint a(&log, &part0), b(&log, &part1), dst(&log, &part0);
+    const net::EndpointId ep_a = net.attach(&a, nics[0]);
+    const net::EndpointId ep_b = net.attach(&b, nics[1]);
+    const net::EndpointId ep_dst = net.attach(&dst, nics[2]);
+
+    net::PartitionPlan plan;
+    plan.sims = {&part0, &part1};
+    plan.partition_of_nic = {0, 1, 0};
+    plan.lookahead = 1000;
+    net.begin_partitioned(std::move(plan));
+
+    const net::MessagePtr payload = net::make_message<TestMessage>(256);
+    // Issue the equal-time sends in either partition order: the commit
+    // must not care which thread got there first.
+    auto send_from_a = [&] {
+      net::PartitionScope scope(net, 0);
+      net.send(ep_a, ep_dst, payload);
+      net.send(ep_a, ep_dst, payload);
+    };
+    auto send_from_b = [&] {
+      net::PartitionScope scope(net, 1);
+      net.send(ep_b, ep_dst, payload);
+    };
+    if (reverse_issue_order) {
+      send_from_b();
+      send_from_a();
+    } else {
+      send_from_a();
+      send_from_b();
+    }
+    EXPECT_TRUE(net.has_pending_deliveries());
+    net.commit_pending();
+    EXPECT_FALSE(net.has_pending_deliveries());
+    part0.run();
+    part1.run();
+    net.end_partitioned();
+
+    std::vector<std::pair<net::EndpointId, sim::Time>> out;
+    out.swap(log);
+    return std::make_pair(out, std::make_pair(ep_a, ep_b));
+  };
+
+  const auto forward = run_case(false);
+  const auto reversed = run_case(true);
+  EXPECT_EQ(forward.first, reversed.first);
+  ASSERT_EQ(forward.first.size(), 3u);
+  // Source endpoint order breaks the equal-send-time tie: both of A's
+  // packets reserve the RX before B's.
+  EXPECT_EQ(forward.first[0].first, forward.second.first);
+  EXPECT_EQ(forward.first[1].first, forward.second.first);
+  EXPECT_EQ(forward.first[2].first, forward.second.second);
+  EXPECT_LT(forward.first[0].second, forward.first[1].second);
+  EXPECT_LT(forward.first[1].second, forward.first[2].second);
+}
+
+TEST(Psim, PartitionedModeRejectsBadPlans) {
+  sim::Simulator serial_sim;
+  net::Network net(serial_sim, 1000);
+  net.add_nic({});
+  sim::Simulator p0;
+
+  net::PartitionPlan missing_nic;
+  missing_nic.sims = {&p0};
+  missing_nic.lookahead = 10;
+  EXPECT_THROW(net.begin_partitioned(std::move(missing_nic)),
+               std::invalid_argument);
+
+  net::PartitionPlan zero_lookahead;
+  zero_lookahead.sims = {&p0};
+  zero_lookahead.partition_of_nic = {0};
+  zero_lookahead.lookahead = 0;
+  EXPECT_THROW(net.begin_partitioned(std::move(zero_lookahead)),
+               std::invalid_argument);
+
+  net::PartitionPlan good;
+  good.sims = {&p0};
+  good.partition_of_nic = {0};
+  good.lookahead = 10;
+  net.begin_partitioned(std::move(good));
+  EXPECT_TRUE(net.partitioned());
+  net.end_partitioned();
+  EXPECT_FALSE(net.partitioned());
+}
+
+// --- SimDomain / env parsing ----------------------------------------------
+
+TEST(Psim, SimDomainValidatesArguments) {
+  sim::Simulator s0;
+  EXPECT_THROW(runner::SimDomain({}, 10), std::invalid_argument);
+  EXPECT_THROW(runner::SimDomain({&s0}, 0), std::invalid_argument);
+  EXPECT_THROW(runner::SimDomain({&s0, nullptr}, 10), std::invalid_argument);
+}
+
+TEST(Psim, SimDomainRunsEventsExactlyOnHorizonBoundary) {
+  // Two partitions, lookahead 5. Events at t = 4 (== first horizon with
+  // N = 0) must execute in round one; events at t = 5 must wait for the
+  // next window. The domain must also keep both clocks in lockstep.
+  sim::Simulator s0, s1;
+  std::vector<int> fired;
+  s0.schedule_at(0, [&] { fired.push_back(0); });
+  s0.schedule_at(4, [&] { fired.push_back(4); });
+  s1.schedule_at(5, [&] { fired.push_back(5); });
+  runner::SimDomain domain({&s0, &s1}, 5);
+  std::vector<std::pair<std::size_t, sim::Time>> horizons;
+  domain.run(
+      [&](std::size_t p, sim::Time horizon) {
+        if (p == 0) horizons.emplace_back(p, horizon);
+        (p == 0 ? s0 : s1).run_until(horizon);
+      },
+      [] {}, [] { return false; });
+  EXPECT_EQ(fired, (std::vector<int>{0, 4, 5}));
+  ASSERT_GE(horizons.size(), 2u);
+  EXPECT_EQ(horizons[0].second, 4);  // N=0, H = 0 + 5 - 1
+  EXPECT_EQ(horizons[1].second, 9);  // N=5, H = 5 + 5 - 1
+  EXPECT_EQ(domain.stats().sync_rounds, 2u);
+  ASSERT_EQ(domain.stats().partition_events.size(), 2u);
+  EXPECT_EQ(domain.stats().partition_events[0], 2u);
+  EXPECT_EQ(domain.stats().partition_events[1], 1u);
+}
+
+TEST(Psim, SimThreadsFromEnvParsesAndClamps) {
+  {
+    ScopedEnv env("OMR_SIM_THREADS", nullptr);
+    EXPECT_EQ(runner::sim_threads_from_env(), 1u);
+  }
+  {
+    ScopedEnv env("OMR_SIM_THREADS", "6");
+    EXPECT_EQ(runner::sim_threads_from_env(), 6u);
+  }
+  {
+    ScopedEnv env("OMR_SIM_THREADS", "0");
+    EXPECT_EQ(runner::sim_threads_from_env(), 1u);
+  }
+  {
+    ScopedEnv env("OMR_SIM_THREADS", "auto");
+    EXPECT_GE(runner::sim_threads_from_env(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace omr::core

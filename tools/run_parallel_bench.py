@@ -52,9 +52,11 @@ def build(build_dir: str, targets) -> str:
     return build_dir
 
 
-def run_bench(exe: str, jobs: int, mb: float, report_path: str):
+def run_bench(exe: str, jobs: int, mb: float, report_path: str,
+              sim_threads: int = 1):
     env = dict(os.environ)
     env["OMR_JOBS"] = str(jobs)
+    env["OMR_SIM_THREADS"] = str(sim_threads)
     env["OMR_MB"] = str(mb)
     env["OMR_REPORT_JSON"] = report_path
     t0 = time.monotonic()
@@ -74,6 +76,9 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
                     help="parallel job count to compare against serial")
+    ap.add_argument("--sim-threads", type=int, default=1,
+                    help="OMR_SIM_THREADS for every run (the intra-run "
+                         "parallel engine; 1 = serial engine)")
     ap.add_argument("--mb", type=float, default=8.0,
                     help="tensor size in MB (OMR_MB) for the sweep benches")
     ap.add_argument("--bench", action="append", default=None,
@@ -99,13 +104,14 @@ def main() -> int:
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
             report_path = tmp.name
         serial_s, serial_out, serial_rep = run_bench(
-            exe, 1, args.mb, report_path)
+            exe, 1, args.mb, report_path, args.sim_threads)
         parallel_s, parallel_out, parallel_rep = run_bench(
-            exe, args.jobs, args.mb, report_path)
+            exe, args.jobs, args.mb, report_path, args.sim_threads)
         same = serial_out == parallel_out and serial_rep == parallel_rep
         identical = identical and same
         entry = {
             "bench": name,
+            "jobs": args.jobs,
             "serial_s": round(serial_s, 3),
             "parallel_s": round(parallel_s, 3),
             "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
@@ -118,10 +124,10 @@ def main() -> int:
               f"{'identical' if same else 'OUTPUT MISMATCH'}")
 
     doc = {
-        "schema": "omnireduce.bench_parallel.v1",
-        "jobs": args.jobs,
-        "omr_mb": args.mb,
+        "schema": "omnireduce.bench_parallel.v2",
         "host_cpus": os.cpu_count(),
+        "sim_threads": args.sim_threads,
+        "omr_mb": args.mb,
         "results": results,
     }
     out_path = args.out
