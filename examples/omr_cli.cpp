@@ -17,6 +17,7 @@
 #include <string>
 
 #include "baselines/zoo.h"
+#include "compress/wire_codec.h"
 #include "core/algorithm.h"
 #include "core/engine.h"
 #include "core/selector.h"
@@ -34,7 +35,8 @@ struct Options {
   double bandwidth_gbps = 10.0;
   double loss = 0.0;
   std::string method = "omnireduce";
-  std::string algo;  // registry name, "auto" (selector) or "list"
+  std::string algo;   // registry name, "auto" (selector) or "list"
+  std::string codec;  // wire codec name, "auto" (selector) or "list"
   std::string transport = "dpdk";
   std::string overlap = "random";
   bool gdr = false;
@@ -55,6 +57,9 @@ void usage() {
       "  --loss P           packet loss probability (default 0)\n"
       "  --algo A           registry algorithm name (see --algo list), or\n"
       "                     'auto' to let the online selector choose\n"
+      "  --codec C          inline wire codec (see --codec list), or\n"
+      "                     'auto' to let the online selector choose the\n"
+      "                     (algorithm, codec) pair per tensor\n"
       "  --method M         omnireduce|ring|switchml|ps|agsparse|sparcml|kv\n"
       "                     (legacy spellings; dispatched via the registry)\n"
       "  --transport T      dpdk|rdma (omnireduce only)\n"
@@ -95,6 +100,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.method = argv[++i];
     } else if (a == "--algo" && i + 1 < argc) {
       opt.algo = argv[++i];
+    } else if (a == "--codec" && i + 1 < argc) {
+      opt.codec = argv[++i];
     } else if (a == "--transport" && i + 1 < argc) {
       opt.transport = argv[++i];
     } else if (a == "--overlap" && i + 1 < argc) {
@@ -129,6 +136,12 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (opt.codec == "list") {
+    for (const auto& name : compress::codec_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
 
   const auto n = static_cast<std::size_t>(opt.mb * 1e6 / 4.0);
   const double bw = opt.bandwidth_gbps * 1e9;
@@ -159,13 +172,32 @@ int main(int argc, char** argv) {
   cluster.fabric.seed = opt.seed;
   cluster.device.gdr = opt.gdr;
 
-  if (opt.algo == "auto") {
-    core::OnlineSelector selector;
+  const bool codec_auto = opt.codec == "auto";
+  if (!opt.codec.empty() && !codec_auto) {
+    try {
+      cfg.codec.codec = compress::codec_from_name(opt.codec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "omr_cli: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (opt.algo == "auto" || codec_auto) {
+    core::SelectorConfig sel_cfg;
+    if (codec_auto) sel_cfg.codecs = compress::codec_names();
+    if (opt.algo != "auto" && !opt.algo.empty()) {
+      // Fixed algorithm + codec auto: score codec lanes for it alone.
+      sel_cfg.candidates = {opt.algo};
+    }
+    core::OnlineSelector selector(sel_cfg);
     core::SelectorDecision decision;
     core::RunStats st =
         selector.run(tensors, cfg, cluster, &decision, /*verify=*/true);
-    std::printf("auto -> %-12s %10.3f ms  predicted %.3f ms  verified=%s\n",
-                decision.algorithm.c_str(), st.completion_ms(),
+    const std::string lane = decision.codec.empty()
+                                 ? decision.algorithm
+                                 : decision.algorithm + "|" + decision.codec;
+    std::printf("auto -> %-16s %10.3f ms  predicted %.3f ms  verified=%s\n",
+                lane.c_str(), st.completion_ms(),
                 decision.predicted_seconds * 1e3,
                 st.verified ? "yes" : "no");
     return st.verified ? 0 : 1;

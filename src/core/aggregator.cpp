@@ -25,7 +25,9 @@ Aggregator::Aggregator(const Config& cfg, net::Network& net,
     : cfg_(cfg),
       net_(net),
       n_workers_(n_workers),
-      kernel_(kernels::select(cfg.op, cfg.fixed_point)) {}
+      kernel_(kernels::select(cfg.op, cfg.fixed_point)),
+      codec_fold_(cfg.codec.enabled() && cfg.op == ReduceOp::kSum &&
+                  !cfg.fixed_point) {}
 
 void Aggregator::bind(net::EndpointId self,
                       std::vector<net::EndpointId> workers) {
@@ -52,10 +54,12 @@ void Aggregator::add_stream(std::uint32_t stream, const StreamInfo& info) {
       for (auto& col : v.data) col.assign(cfg_.block_size, identity());
       v.seen.assign(n_workers_, 0);
       v.min_next.assign(info.columns, tensor::kNoBlock);
+      if (codec_fold_) v.qacc.resize(info.columns);
     }
   } else {
     st.slot.resize(info.columns);
     for (auto& col : st.slot) col.assign(cfg_.block_size, identity());
+    if (codec_fold_) st.qacc.resize(info.columns);
     st.next_tbl.assign(info.columns,
                        std::vector<tensor::BlockIndex>(n_workers_,
                                                        kMinusInfinity));
@@ -73,6 +77,9 @@ void Aggregator::begin_collective() {
   duplicate_resends_ = 0;
   rounds_completed_ = 0;
   resyncs_served_ = 0;
+  codec_saved_bytes_ = 0;
+  codec_exact_folds_ = 0;
+  codec_requant_folds_ = 0;
 }
 
 void Aggregator::on_message(net::EndpointId from, const net::MessagePtr& msg) {
@@ -120,14 +127,25 @@ void Aggregator::fold(SlotData& slot, const DataPacket& p) const {
   }
 }
 
+void Aggregator::fold_codec(std::vector<compress::QuantAccumulator>& qacc,
+                            const DataPacket& p) const {
+  for (const ColumnBlock& cb : p.columns) {
+    qacc[cb.column].fold(cb.enc.get());
+  }
+}
+
 void Aggregator::stage(SlotState& st, SlotData& slot,
                        std::vector<std::shared_ptr<const DataPacket>>& pending,
+                       std::vector<compress::QuantAccumulator>* qacc,
                        const std::shared_ptr<const DataPacket>& p) const {
   (void)st;
   if (p->columns.empty()) return;
   if (tracer_ != nullptr) {
     tracer_->slot_aggregate(pid_, net_.simulator().now(), p->stream, p->wid);
   }
+  // Quantized-domain folding is exact and order-independent, so it happens
+  // eagerly even in deterministic mode (where the float fold is deferred).
+  if (qacc != nullptr) fold_codec(*qacc, *p);
   if (cfg_.deterministic_reduction) {
     pending.push_back(p);
   } else {
@@ -179,7 +197,7 @@ void Aggregator::recycle_packet(net::MessagePtr& pkt) {
 net::MessagePtr Aggregator::emit_result(
     SlotState& st, std::uint32_t stream, std::uint8_t ver,
     const std::vector<tensor::BlockIndex>& requests,
-    SlotData& slot) {
+    SlotData& slot, std::vector<compress::QuantAccumulator>* qacc) {
   auto result = acquire_result();
   result->stream = stream;
   result->ver = ver;
@@ -201,6 +219,33 @@ net::MessagePtr Aggregator::emit_result(
     cb.data = std::move(slot[c]);
     slot[c] = acquire_block();
     slot[c].assign(cfg_.block_size, identity());
+    if (qacc != nullptr) {
+      compress::QuantAccumulator& a = (*qacc)[c];
+      if (a.active) {
+        // Every contribution shared codec + scales: replace the float fold
+        // with the exact quantized-domain sum (order-independent, one
+        // final float rounding).
+        a.decode(cb.data.data(), cb.data.size());
+        ++codec_exact_folds_;
+      } else {
+        ++codec_requant_folds_;
+      }
+      a.reset();
+    } else if (cfg_.codec.enabled()) {
+      ++codec_requant_folds_;  // min/max or fixed point: float fold only
+    }
+    if (cfg_.codec.enabled()) {
+      // The result leg is encoded too: workers reconstruct the encoded
+      // representatives, so the packet carries exactly what they will see.
+      auto enc = std::make_shared<compress::EncodedBlock>();
+      compress::encode_block(cb.data.data(), cb.data.size(),
+                             cfg_.codec.codec, *enc);
+      compress::decode_block(*enc, cb.data.data());
+      const std::size_t raw = cb.data.size() * cfg_.value_bytes;
+      const std::size_t wire = enc->payload_bytes();
+      if (raw > wire) codec_saved_bytes_ += raw - wire;
+      cb.enc = std::move(enc);
+    }
     result->columns.push_back(std::move(cb));
   }
   // Advance every column to the newly requested block.
@@ -238,7 +283,7 @@ net::MessagePtr Aggregator::emit_result(
 void Aggregator::handle_alg1(SlotState& st, std::uint32_t stream,
                              const std::shared_ptr<const DataPacket>& p) {
   if (st.done) return;
-  stage(st, st.slot, st.pending, p);
+  stage(st, st.slot, st.pending, codec_fold_ ? &st.qacc : nullptr, p);
   assert(p->next.size() == st.info.columns);
   for (std::size_t c = 0; c < st.info.columns; ++c) {
     st.next_tbl[c][p->wid] = p->next[c];
@@ -260,7 +305,8 @@ void Aggregator::handle_alg1(SlotState& st, std::uint32_t stream,
   // The previous round's result is dead once every worker has responded to
   // it: reclaim its buffers for the packet about to be emitted.
   recycle_packet(st.last_result);
-  st.last_result = emit_result(st, stream, 0, requests, st.slot);
+  st.last_result = emit_result(st, stream, 0, requests, st.slot,
+                               codec_fold_ ? &st.qacc : nullptr);
   if (faults_ != nullptr) {
     st.last_emitted =
         std::static_pointer_cast<const ResultPacket>(st.last_result);
@@ -295,6 +341,7 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
     // reset the accumulator and the min-next tracker.
     for (auto& col : sv.data) col.assign(cfg_.block_size, identity());
     sv.pending.clear();
+    for (auto& a : sv.qacc) a.reset();
     sv.min_next.assign(p->next.begin(), p->next.end());
     if (faults_ != nullptr && faults_->liveness_enabled()) {
       // Arm the round's liveness deadline: if this round (identified by
@@ -309,7 +356,7 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
       sv.min_next[c] = std::min(sv.min_next[c], p->next[c]);
     }
   }
-  stage(st, sv.data, sv.pending, p);
+  stage(st, sv.data, sv.pending, codec_fold_ ? &sv.qacc : nullptr, p);
   if (sv.count == n_workers_) {
     sv.count = 0;
     ++sv.serial;  // round closed: void its pending liveness checks
@@ -317,7 +364,8 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
     // This version's previous result is obsolete once the new round has
     // completed: every worker has advanced past it. Reclaim its buffers.
     recycle_packet(sv.last_result);
-    sv.last_result = emit_result(st, stream, v, sv.min_next, sv.data);
+    sv.last_result = emit_result(st, stream, v, sv.min_next, sv.data,
+                                 codec_fold_ ? &sv.qacc : nullptr);
     if (faults_ != nullptr) {
       st.last_emitted =
           std::static_pointer_cast<const ResultPacket>(sv.last_result);

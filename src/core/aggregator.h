@@ -60,6 +60,13 @@ class Aggregator final : public net::Endpoint {
   std::uint64_t duplicate_resends() const { return duplicate_resends_; }
   std::uint64_t rounds_completed() const { return rounds_completed_; }
   std::uint64_t resyncs_served() const { return resyncs_served_; }
+  /// Wire bytes saved by the codec on the result leg (0 when disabled).
+  std::uint64_t codec_saved_bytes() const { return codec_saved_bytes_; }
+  /// Emitted columns whose sum was reconstructed exactly in the quantized
+  /// domain (every contribution shared codec + scales).
+  std::uint64_t codec_exact_folds() const { return codec_exact_folds_; }
+  /// Emitted columns that fell back to dequant-fold-requant.
+  std::uint64_t codec_requant_folds() const { return codec_requant_folds_; }
 
  private:
   /// Accumulator storage: one block_size buffer per column. Kept as
@@ -73,6 +80,10 @@ class Aggregator final : public net::Endpoint {
     std::vector<std::uint8_t> seen;            // per worker
     std::size_t count = 0;                     // packets this round
     std::vector<tensor::BlockIndex> min_next;  // per column
+    /// Quantized-domain sum per column (codec_fold_ only; exact when every
+    /// contribution shares codec + scales, else falls back to the float
+    /// slot which holds the dequantized fold).
+    std::vector<compress::QuantAccumulator> qacc;
     net::MessagePtr last_result;               // retransmission buffer
     /// Deterministic mode: contributions buffered until round completion.
     std::vector<std::shared_ptr<const DataPacket>> pending;
@@ -86,6 +97,7 @@ class Aggregator final : public net::Endpoint {
     bool done = false;
     // Algorithm 1 state
     SlotData slot;  // per-column accumulator
+    std::vector<compress::QuantAccumulator> qacc;  // codec_fold_ only
     std::vector<std::vector<tensor::BlockIndex>> next_tbl;  // [col][worker]
     std::vector<std::shared_ptr<const DataPacket>> pending;  // deterministic
     net::MessagePtr last_result;  // previous round's result, for recycling
@@ -111,9 +123,14 @@ class Aggregator final : public net::Endpoint {
   /// either immediately or (deterministic mode) via `pending`.
   void stage(SlotState& st, SlotData& slot,
              std::vector<std::shared_ptr<const DataPacket>>& pending,
+             std::vector<compress::QuantAccumulator>* qacc,
              const std::shared_ptr<const DataPacket>& p) const;
   /// Apply one packet's payload to `slot` (op + optional fixed point).
   void fold(SlotData& slot, const DataPacket& p) const;
+  /// Fold one packet's encoded sidecars into the per-column quantized
+  /// accumulators (exact integer-code sums; see QuantAccumulator).
+  void fold_codec(std::vector<compress::QuantAccumulator>& qacc,
+                  const DataPacket& p) const;
   /// Deterministic mode: fold `pending` in worker-id order, then clear it.
   void drain_pending(SlotData& slot,
                      std::vector<std::shared_ptr<const DataPacket>>& pending)
@@ -133,12 +150,16 @@ class Aggregator final : public net::Endpoint {
   net::MessagePtr emit_result(SlotState& st, std::uint32_t stream,
                               std::uint8_t ver,
                               const std::vector<tensor::BlockIndex>& requests,
-                              SlotData& slot);
+                              SlotData& slot,
+                              std::vector<compress::QuantAccumulator>* qacc);
 
   Config cfg_;
   net::Network& net_;
   std::size_t n_workers_;
   kernels::ReduceKernel kernel_;  // (op, fixed-point) dispatch, hoisted
+  /// Quantized-domain folding is attempted: codec on, op == sum, and not
+  /// fixed point (integer codes only sum exactly under kSum).
+  bool codec_fold_ = false;
   std::vector<std::vector<float>> block_pool_;  // recycled result buffers
   std::vector<std::shared_ptr<ResultPacket>> result_pool_;  // recycled packets
   std::vector<tensor::BlockIndex> requests_scratch_;  // per-packet work table
@@ -154,6 +175,9 @@ class Aggregator final : public net::Endpoint {
   std::uint64_t duplicate_resends_ = 0;
   std::uint64_t rounds_completed_ = 0;
   std::uint64_t resyncs_served_ = 0;
+  std::uint64_t codec_saved_bytes_ = 0;
+  std::uint64_t codec_exact_folds_ = 0;
+  std::uint64_t codec_requant_folds_ = 0;
 };
 
 }  // namespace omr::core

@@ -1,6 +1,7 @@
 #include "core/algorithm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -78,6 +79,7 @@ bool capabilities_allow(const AlgoCapabilities& caps, const Config& cfg,
   }
   if (cluster.topology.two_tier() && !caps.supports_topology) return false;
   if (cluster.faults.enabled() && !caps.supports_faults) return false;
+  if (cfg.codec.enabled() && !caps.supports_codec) return false;
   return true;
 }
 
@@ -102,6 +104,10 @@ void validate_capabilities(const AlgoCapabilities& caps, const Config& cfg,
     throw std::invalid_argument("algorithm '" + name +
                                 "' does not support fault injection");
   }
+  if (cfg.codec.enabled() && !caps.supports_codec) {
+    throw std::invalid_argument("algorithm '" + name +
+                                "' does not support inline wire codecs");
+  }
 }
 
 namespace {
@@ -118,6 +124,7 @@ class OmniReduceAlgo final : public CollectiveAlgorithm {
     c.supports_loss = true;
     c.supports_topology = true;
     c.supports_faults = true;
+    c.supports_codec = true;
     return c;
   }
   RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config& cfg,
@@ -137,6 +144,7 @@ class SwitchMlAlgo final : public CollectiveAlgorithm {
     c.supports_loss = true;
     c.supports_topology = true;
     c.supports_faults = true;
+    c.supports_codec = true;
     return c;
   }
   RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config& cfg,
@@ -161,6 +169,7 @@ class BucketedAlgo final : public CollectiveAlgorithm {
     c.supports_loss = true;
     c.supports_topology = true;
     c.supports_faults = true;
+    c.supports_codec = true;
     return c;
   }
   RunStats run(std::vector<tensor::DenseTensor>& tensors, const Config& cfg,
@@ -276,9 +285,21 @@ RunStats run_collective(const std::string& name,
   validate_capabilities(algo.capabilities(), cfg, cluster, name);
   tensor::DenseTensor reference;
   if (verify) reference = reference_reduce(tensors, cfg);
+  double input_amax = 0.0;
+  if (verify && cfg.codec.enabled()) {
+    for (const auto& t : tensors) {
+      for (float v : t.values()) {
+        input_amax = std::max(input_amax, std::fabs(static_cast<double>(v)));
+      }
+    }
+  }
   RunStats stats = algo.run(tensors, cfg, cluster);
   if (verify && stats.completed()) {
-    const double tol = algo.verify_tolerance(reference, tensors.size());
+    double tol = algo.verify_tolerance(reference, tensors.size());
+    if (cfg.codec.enabled()) {
+      tol += compress::codec_verify_slack(cfg.codec.codec, input_amax,
+                                          tensors.size());
+    }
     double err = 0.0;
     for (const auto& t : tensors) {
       err = std::max(err, algo.verify_error(t, reference));

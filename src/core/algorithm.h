@@ -32,6 +32,10 @@ struct AlgoCapabilities {
   bool supports_topology = false;
   /// Honors ClusterSpec::faults (stragglers, crashes, flaps).
   bool supports_faults = false;
+  /// Honors Config::codec (inline wire compression): payloads shrink on
+  /// the wire and results are quantized. Algorithms without this reject a
+  /// codec-enabled Config instead of silently ignoring it.
+  bool supports_codec = false;
 };
 
 /// One collective algorithm behind the unified API: OmniReduce variants,

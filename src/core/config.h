@@ -3,9 +3,37 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "compress/wire_codec.h"
 #include "sim/time.h"
 
 namespace omr::core {
+
+/// Inline wire-compression configuration (QuickReduce-style). With
+/// codec == kNone every cost term is zero and the packet path is
+/// byte-identical to the uncompressed engine.
+struct CodecSpec {
+  compress::WireCodec codec = compress::WireCodec::kNone;
+  /// One-time per-collective per-worker cost of arming the codec path
+  /// (kernel launch / ring buffer registration). Dominates at small
+  /// tensors, which is what makes `none` win the small-message cells.
+  double setup_ns = 5000.0;
+  /// Per-element encode+decode compute charged on the packet critical
+  /// path (per packet: elements * ns_per_element + packet_overhead_ns).
+  double ns_per_element = 0.25;
+  double packet_overhead_ns = 100.0;
+  /// Carry the quantization error as a worker-side residual added into
+  /// the next collective's input (error feedback). Preserves convergence
+  /// under dequant-fold-requant.
+  bool error_feedback = true;
+
+  bool enabled() const { return codec != compress::WireCodec::kNone; }
+  /// Codec compute time for one packet carrying `elements` data elements.
+  sim::Time packet_cost(std::size_t elements) const {
+    if (!enabled() || elements == 0) return 0;
+    return static_cast<sim::Time>(
+        static_cast<double>(elements) * ns_per_element + packet_overhead_ns);
+  }
+};
 
 /// Transport flavour: decides header overhead, message capacity and which
 /// protocol variant runs (Algorithm 1 over a reliable fabric, Algorithm 2
@@ -84,6 +112,9 @@ struct Config {
   /// arrival order. Costs one block of buffering per worker per slot;
   /// throughput is unaffected (the fold happens off the critical wire path).
   bool deterministic_reduction = false;
+  /// Inline wire codec for packet payloads (kNone = uncompressed, the
+  /// byte-identical default).
+  CodecSpec codec;
 
   /// Block Fusion width.
   std::size_t fusion_width() const {

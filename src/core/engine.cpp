@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -160,6 +161,16 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
 
   tensor::DenseTensor reference;
   if (verify) reference = reference_reduce(tensors, cfg);
+  // Codec verification slack scales with the inputs' magnitude; capture it
+  // before the run mutates the tensors into the (quantized) result.
+  double input_amax = 0.0;
+  if (verify && cfg.codec.enabled()) {
+    for (const auto& t : tensors) {
+      for (float v : t.values()) {
+        input_amax = std::max(input_amax, std::fabs(static_cast<double>(v)));
+      }
+    }
+  }
 
   Config run_cfg = cfg;
   if (fabric.lossy() || cluster.topology.spine_lossy() ||
@@ -450,6 +461,20 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
     stats.rounds += aggs[a]->rounds_completed();
     stats.duplicate_resends += aggs[a]->duplicate_resends();
   }
+  if (run_cfg.codec.enabled()) {
+    stats.codec = compress::codec_name(run_cfg.codec.codec);
+    double residual_sq = 0.0;
+    for (const auto& w : workers) {
+      stats.codec_saved_bytes += w->codec_saved_bytes();
+      residual_sq += w->codec_residual_sq();
+    }
+    for (const auto& a : aggs) {
+      stats.codec_saved_bytes += a->codec_saved_bytes();
+      stats.codec_exact_folds += a->codec_exact_folds();
+      stats.codec_requant_folds += a->codec_requant_folds();
+    }
+    stats.codec_residual_l2 = std::sqrt(residual_sq);
+  }
   for (net::NicId nic : worker_nics) {
     stats.total_messages += network.nic_stats(nic).tx_messages;
   }
@@ -468,7 +493,11 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
     stats.max_error = max_err;
     // Float sums of <= n_workers addends in a different association order:
     // tolerance grows mildly with worker count and value magnitude.
-    const double tol = 1e-4 * static_cast<double>(n_workers);
+    double tol = 1e-4 * static_cast<double>(n_workers);
+    if (run_cfg.codec.enabled()) {
+      tol += compress::codec_verify_slack(run_cfg.codec.codec, input_amax,
+                                          n_workers);
+    }
     stats.verified = max_err <= tol;
     if (!stats.verified) {
       throw std::logic_error("allreduce result mismatch vs reference");
@@ -543,6 +572,13 @@ telemetry::RunReport make_run_report(const std::string& label,
     report.worker_fault_stall_ns = stats.worker_fault_stall_ns;
     report.worker_crashes = stats.worker_crashes;
     report.resyncs = stats.resyncs;
+  }
+  if (!stats.codec.empty()) {
+    report.codec = stats.codec;
+    report.codec_saved_bytes = stats.codec_saved_bytes;
+    report.codec_exact_folds = stats.codec_exact_folds;
+    report.codec_requant_folds = stats.codec_requant_folds;
+    report.codec_residual_l2 = stats.codec_residual_l2;
   }
   if (tracer != nullptr) {
     for (std::size_t w = 0; w < n_workers; ++w) {

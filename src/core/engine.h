@@ -41,6 +41,13 @@ struct RunStats {
   std::vector<sim::Time> worker_fault_stall_ns;
   std::uint64_t worker_crashes = 0;
   std::uint64_t resyncs = 0;
+  /// Wire-codec lane (populated only when Config::codec is enabled; empty
+  /// name / zero counters otherwise so old reports stay byte-identical).
+  std::string codec;
+  std::uint64_t codec_saved_bytes = 0;   // both legs, raw minus encoded
+  std::uint64_t codec_exact_folds = 0;   // quantized-domain column sums
+  std::uint64_t codec_requant_folds = 0; // dequant-fold-requant fallbacks
+  double codec_residual_l2 = 0.0;        // sqrt(sum sq quantization error)
 
   bool completed() const { return !failure.failed(); }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "compress/wire_codec.h"
 #include "net/message.h"
 #include "tensor/blocks.h"
 
@@ -12,11 +13,25 @@ namespace omr::core {
 /// One fused block inside a packet: which column of the stream's 2-D block
 /// layout it belongs to, which (stream-local) block row it carries, and the
 /// block's values. Only non-zero blocks are included (§3.2).
+///
+/// With a wire codec enabled, `data` holds the decoded representatives
+/// (what the receiver reconstructs) and `enc` the encoded form actually on
+/// the wire — payload sizing uses `enc` when present, and the aggregator
+/// uses it for exact quantized-domain folds.
 struct ColumnBlock {
   std::uint32_t column = 0;
   tensor::BlockIndex block = 0;  // stream-local block index
   std::vector<float> data;       // block_size values (padded at tensor end)
+  std::shared_ptr<const compress::EncodedBlock> enc;  // null: raw fp32
 };
+
+/// Wire bytes of one ColumnBlock's values: the encoded payload when a
+/// codec sidecar is attached, `data.size() * value_bytes` otherwise.
+inline std::size_t column_payload_bytes(const ColumnBlock& c,
+                                        std::size_t value_bytes) {
+  if (c.enc != nullptr) return c.enc->payload_bytes();
+  return c.data.size() * value_bytes;
+}
 
 /// Worker -> aggregator packet (Algorithm 1 / 2 with Block Fusion).
 /// `next` always holds one entry per active column of the stream: the
@@ -40,7 +55,7 @@ struct DataPacket final : net::Message {
   std::size_t payload_bytes() const override {
     std::size_t data_bytes = 0;
     for (const ColumnBlock& c : columns) {
-      data_bytes += c.data.size() * value_bytes;
+      data_bytes += column_payload_bytes(c, value_bytes);
     }
     return data_bytes;
   }
@@ -67,7 +82,7 @@ struct ResultPacket final : net::Message {
   std::size_t payload_bytes() const override {
     std::size_t data_bytes = 0;
     for (const ColumnBlock& c : columns) {
-      data_bytes += c.data.size() * value_bytes;
+      data_bytes += column_payload_bytes(c, value_bytes);
     }
     return data_bytes;
   }

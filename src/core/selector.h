@@ -22,6 +22,12 @@ namespace omr::core {
 struct SelectorConfig {
   std::vector<std::string> candidates = {"ring", "omnireduce", "oktopk",
                                          "sketch"};
+  /// Wire-codec lanes to score per candidate ("none", "fp8", "q8", "q6",
+  /// "q4" — see compress::codec_names()). Empty (the default) keeps the
+  /// caller's Config::codec untouched and scores a single lane, exactly
+  /// the pre-codec behavior. Candidates without codec support are scored
+  /// only on the "none" lane.
+  std::vector<std::string> codecs = {};
   /// Smoothing for the observed/predicted correction ratio. 1.0 = trust
   /// only the latest observation, 0.0 = never learn.
   double ewma_alpha = 0.3;
@@ -30,7 +36,11 @@ struct SelectorConfig {
 /// One per-tensor choice: which algorithm and what the model expected.
 struct SelectorDecision {
   std::string algorithm;
-  /// perfmodel prediction for the chosen algorithm (seconds).
+  /// Chosen wire-codec lane ("none", "fp8", ...). Empty when
+  /// SelectorConfig::codecs is empty (codec dimension not in play — the
+  /// caller's Config::codec is used as-is).
+  std::string codec;
+  /// perfmodel prediction for the chosen (algorithm, codec) (seconds).
   double predicted_seconds = 0.0;
   /// Prediction times the learned correction ratio — the score the
   /// selector actually minimized.
@@ -65,6 +75,12 @@ class OnlineSelector {
   /// the bucket's correction ratio.
   void observe(const std::string& algorithm, std::size_t elements,
                double density, double predicted_seconds,
+               double observed_seconds);
+  /// Codec-lane form: ratios are learned per (algorithm, codec, bucket).
+  /// `codec` must match SelectorDecision::codec ("" when the codec
+  /// dimension is not in play).
+  void observe(const std::string& algorithm, const std::string& codec,
+               std::size_t elements, double density, double predicted_seconds,
                double observed_seconds);
 
   /// Convenience: choose on the tensors' own shape, dispatch through

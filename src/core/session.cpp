@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -147,6 +148,14 @@ RunStats Session::run_collective(std::vector<tensor::DenseTensor>& tensors,
   }
   tensor::DenseTensor reference;
   if (verify) reference = reference_reduce(tensors, cfg_);
+  double input_amax = 0.0;
+  if (verify && cfg_.codec.enabled()) {
+    for (const auto& t : tensors) {
+      for (float v : t.values()) {
+        input_amax = std::max(input_amax, std::fabs(static_cast<double>(v)));
+      }
+    }
+  }
 
   const sim::Time t0 = simulator_->now();
   std::vector<net::NicStats> nic_before;
@@ -199,6 +208,20 @@ RunStats Session::run_collective(std::vector<tensor::DenseTensor>& tensors,
     stats.rounds += a->rounds_completed();
     stats.duplicate_resends += a->duplicate_resends();
   }
+  if (cfg_.codec.enabled()) {
+    stats.codec = compress::codec_name(cfg_.codec.codec);
+    double residual_sq = 0.0;
+    for (const auto& w : workers_) {
+      stats.codec_saved_bytes += w->codec_saved_bytes();
+      residual_sq += w->codec_residual_sq();
+    }
+    for (const auto& a : aggregators_) {
+      stats.codec_saved_bytes += a->codec_saved_bytes();
+      stats.codec_exact_folds += a->codec_exact_folds();
+      stats.codec_requant_folds += a->codec_requant_folds();
+    }
+    stats.codec_residual_l2 = std::sqrt(residual_sq);
+  }
   for (std::size_t w = 0; w < n_workers_; ++w) {
     stats.total_messages += network_->nic_stats(worker_nics_[w]).tx_messages -
                             nic_before[w].tx_messages;
@@ -214,7 +237,12 @@ RunStats Session::run_collective(std::vector<tensor::DenseTensor>& tensors,
       err = std::max(err, tensor::max_abs_diff(t, reference));
     }
     stats.max_error = err;
-    stats.verified = err <= 1e-4 * static_cast<double>(n_workers_);
+    double tol = 1e-4 * static_cast<double>(n_workers_);
+    if (cfg_.codec.enabled()) {
+      tol += compress::codec_verify_slack(cfg_.codec.codec, input_amax,
+                                          n_workers_);
+    }
+    stats.verified = err <= tol;
     if (!stats.verified) throw std::logic_error("session result mismatch");
   }
   last_report_ = make_run_report(label, stats, spec_, n_workers_, n,

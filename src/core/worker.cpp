@@ -44,6 +44,24 @@ void Worker::start(tensor::DenseTensor& tensor, const StreamLayout& layout,
                                    ? device_.bitmap_cost(tensor.size(),
                                                          cfg_.block_size)
                                    : 0);
+  if (cfg_.codec.enabled()) {
+    // One-time codec arming cost; dominates at small tensors.
+    start_time_ += static_cast<sim::Time>(cfg_.codec.setup_ns);
+    codec_saved_bytes_ = 0;
+    codec_residual_sq_ = 0.0;
+    pending_rx_cost_ = 0;
+    codec_tail_ = 0;
+    if (cfg_.codec.error_feedback) {
+      // The residual persists across collectives of a Session (that is the
+      // error-feedback contract); it is re-zeroed only when the tensor
+      // geometry changes.
+      if (codec_residual_.size() != tensor.size()) {
+        codec_residual_.assign(tensor.size(), 0.0f);
+      }
+    } else {
+      codec_residual_.clear();
+    }
+  }
   states_.assign(layout.streams.size(), StreamState{});
   in_flight_slots_ = 0;
   streams_done_ = 0;
@@ -129,6 +147,39 @@ void Worker::write_block(std::size_t stream, const ColumnBlock& cb) {
   std::copy(src, src + n, dst);
 }
 
+void Worker::encode_column(std::size_t stream, ColumnBlock& cb) {
+  if (!cfg_.codec.enabled()) return;
+  const StreamInfo& info = layout_->streams[stream];
+  const std::size_t global =
+      info.block_lo + static_cast<std::size_t>(cb.block);
+  const std::size_t lo = global * cfg_.block_size;
+  const std::size_t n = cb.data.size();
+  // Fold in the carried residual first (zero on the first collective, so
+  // the no-error-feedback path is identical there). Padding elements past
+  // the tensor end have no residual slot and stay zero.
+  const std::size_t live = lo < codec_residual_.size()
+                               ? std::min(n, codec_residual_.size() - lo)
+                               : 0;
+  if (cfg_.codec.error_feedback) {
+    for (std::size_t i = 0; i < live; ++i) cb.data[i] += codec_residual_[lo + i];
+  }
+  auto enc = std::make_shared<compress::EncodedBlock>();
+  compress::encode_block(cb.data.data(), n, cfg_.codec.codec, *enc);
+  codec_scratch_.resize(n);
+  compress::decode_block(*enc, codec_scratch_.data());
+  const std::size_t raw = n * cfg_.value_bytes;
+  const std::size_t wire = enc->payload_bytes();
+  if (raw > wire) codec_saved_bytes_ += raw - wire;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float err = cb.data[i] - codec_scratch_[i];
+    codec_residual_sq_ += static_cast<double>(err) * err;
+    if (cfg_.codec.error_feedback && i < live) codec_residual_[lo + i] = err;
+  }
+  // The wire carries `enc`; everyone downstream sees the representatives.
+  std::copy(codec_scratch_.begin(), codec_scratch_.end(), cb.data.begin());
+  cb.enc = std::move(enc);
+}
+
 std::vector<float> Worker::acquire_block() {
   if (block_pool_.empty()) return {};
   std::vector<float> v = std::move(block_pool_.back());
@@ -196,6 +247,14 @@ void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
                          bool is_bootstrap) {
   sim::Time ready = std::max(
       {sim().now(), start_time_, staging_deadline(*pkt)});
+  if (cfg_.codec.enabled()) {
+    // Encode compute for this packet plus any result-decode cost carried
+    // over from the round that triggered it (one codec engine per worker).
+    std::size_t elems = 0;
+    for (const ColumnBlock& cb : pkt->columns) elems += cb.data.size();
+    ready += cfg_.codec.packet_cost(elems) + pending_rx_cost_;
+    pending_rx_cost_ = 0;
+  }
   StreamState& st = states_[stream];
   if (faults_ != nullptr) {
     // Straggler injection: every fresh packet pays a seeded per-worker
@@ -211,7 +270,7 @@ void Worker::send_packet(std::size_t stream, std::shared_ptr<DataPacket> pkt,
   }
   st.last_sent = pkt;
   for (const ColumnBlock& cb : pkt->columns) {
-    data_bytes_sent_ += cb.data.size() * cfg_.value_bytes;
+    data_bytes_sent_ += column_payload_bytes(cb, cfg_.value_bytes);
   }
   if (is_bootstrap) {
     ++announcements_sent_;
@@ -371,6 +430,12 @@ void Worker::handle_result(const ResultPacket& r) {
   // The acknowledged packet is dead: recycle its block buffers for the
   // response we are about to assemble.
   recycle_packet(st.last_sent);
+  sim::Time rx_cost = 0;
+  if (cfg_.codec.enabled()) {
+    std::size_t elems = 0;
+    for (const ColumnBlock& cb : r.columns) elems += cb.data.size();
+    rx_cost = cfg_.codec.packet_cost(elems);
+  }
   for (const ColumnBlock& cb : r.columns) {
     write_block(r.stream, cb);
   }
@@ -378,9 +443,12 @@ void Worker::handle_result(const ResultPacket& r) {
       r.request.begin(), r.request.end(),
       [](tensor::BlockIndex b) { return b == tensor::kNoBlock; });
   if (all_finished) {
+    // The decode of the stream's final result lands past the protocol end.
+    codec_tail_ = std::max(codec_tail_, rx_cost);
     note_stream_done(r.stream);
     return;
   }
+  pending_rx_cost_ += rx_cost;
   auto pkt = acquire_packet();
   pkt->stream = r.stream;
   pkt->ver = static_cast<std::uint8_t>((r.ver + 1) & 1);
@@ -395,6 +463,7 @@ void Worker::handle_result(const ResultPacket& r) {
       cb.block = st.my_next[c];
       cb.data = acquire_block();
       read_block(r.stream, cb.block, cb.data);
+      encode_column(r.stream, cb);
       pkt->columns.push_back(std::move(cb));
       st.my_next[c] = scan_next(r.stream, c, st.my_next[c]);
     }
@@ -514,7 +583,9 @@ void Worker::note_stream_done(std::size_t stream) {
     // finished staging the whole tensor through host memory (Appendix B).
     const sim::Time staging =
         call_start_ + device_.full_copy_cost(tensor_->size() * 4);
-    finish_time_ = std::max(sim().now(), staging);
+    // codec_tail_: the last result still had to be decoded (0 when the
+    // codec is disabled, keeping this byte-identical to the seed).
+    finish_time_ = std::max(sim().now() + codec_tail_, staging);
   }
 }
 

@@ -77,6 +77,13 @@ class Worker final : public net::Endpoint {
   /// Total injected straggler compute delay (ns of virtual time).
   sim::Time fault_stall() const { return fault_stall_ns_; }
 
+  /// Wire bytes saved by the codec on this worker's data leg (raw fp32
+  /// payload bytes minus encoded payload bytes; 0 with codec disabled).
+  std::uint64_t codec_saved_bytes() const { return codec_saved_bytes_; }
+  /// Sum of squared quantization errors over every block this worker
+  /// encoded (pre-error-feedback); the per-collective residual l2^2.
+  double codec_residual_sq() const { return codec_residual_sq_; }
+
  private:
   struct StreamState {
     std::vector<tensor::BlockIndex> my_next;  // per column, stream-local
@@ -98,6 +105,10 @@ class Worker final : public net::Endpoint {
   void read_block(std::size_t stream, tensor::BlockIndex block,
                   std::vector<float>& out) const;
   void write_block(std::size_t stream, const ColumnBlock& cb);
+  /// Wire-codec hook: fold in the error-feedback residual, encode the
+  /// block, replace its values with the decoded representatives and attach
+  /// the encoded sidecar. No-op with codec disabled.
+  void encode_column(std::size_t stream, ColumnBlock& cb);
   /// Pop a recycled block buffer (empty vector if the pool is dry).
   std::vector<float> acquire_block();
   /// Pop a recycled DataPacket (or allocate one when the pool is dry).
@@ -162,6 +173,14 @@ class Worker final : public net::Endpoint {
   std::uint64_t acks_sent_ = 0;
   std::uint64_t announcements_sent_ = 0;
   std::uint64_t retransmissions_ = 0;
+
+  // Wire-codec state (untouched when cfg_.codec is disabled).
+  std::vector<float> codec_residual_;  // error-feedback carry, tensor-sized
+  std::vector<float> codec_scratch_;   // decode buffer for encode_column
+  sim::Time pending_rx_cost_ = 0;  // result-decode cost charged to next tx
+  sim::Time codec_tail_ = 0;       // final-result decode past protocol end
+  std::uint64_t codec_saved_bytes_ = 0;
+  double codec_residual_sq_ = 0.0;
 };
 
 }  // namespace omr::core

@@ -36,13 +36,25 @@ double t_agsparse(const ModelParams& p) {
          (p.alpha_s + 2.0 * p.density * bits(p.tensor_bytes) / p.bandwidth_bps);
 }
 
-double t_omnireduce(const ModelParams& p) {
-  return p.alpha_s + p.density * bits(p.tensor_bytes) / p.bandwidth_bps;
+namespace {
+/// Codec-aware engine time: the bandwidth term scales with the codec's
+/// wire bits per element, encode/decode compute overlaps the wire
+/// pipeline (max, not sum — per-stream parallelism hides the smaller of
+/// the two), and the one-time setup lands on the latency term. With the
+/// default (no-codec) ModelParams this is exactly alpha + wire.
+double t_engine(const ModelParams& p, double wire_factor) {
+  const double wire = wire_factor * p.density * bits(p.tensor_bytes) /
+                      p.bandwidth_bps * (p.codec_bits_per_element / 32.0);
+  const double compute = p.density * (p.tensor_bytes / 4.0) *
+                         p.codec_ns_per_element * 1e-9;
+  return p.alpha_s + p.codec_setup_s + std::max(wire, compute);
 }
+}  // namespace
+
+double t_omnireduce(const ModelParams& p) { return t_engine(p, 1.0); }
 
 double t_omnireduce_colocated(const ModelParams& p) {
-  return p.alpha_s +
-         2.0 * p.density * bits(p.tensor_bytes) / p.bandwidth_bps;
+  return t_engine(p, 2.0);
 }
 
 double speedup_vs_ring(const ModelParams& p) {

@@ -19,6 +19,15 @@ struct ModelParams {
   /// carries both roles, halving effective bandwidth for OmniReduce and
   /// doubling per-NIC parameter-server volume.
   bool colocated = false;
+  /// Inline wire-codec cost terms (mirror of core::CodecSpec). Defaults
+  /// are the no-codec identity — 32 wire bits per fp32 element, zero
+  /// setup/compute — which leaves every prediction exactly as before.
+  /// With a codec: the bandwidth term scales by codec_bits/32, encode +
+  /// decode compute overlaps the (shrunk) wire time, and the one-time
+  /// setup adds to the latency term.
+  double codec_bits_per_element = 32.0;
+  double codec_setup_s = 0.0;
+  double codec_ns_per_element = 0.0;
 };
 
 /// Expected union density across n_workers independent supports with

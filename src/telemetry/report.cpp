@@ -112,6 +112,15 @@ void RunReport::write_json(std::ostream& os, bool include_trace) const {
     os << "}";
   }
 
+  if (!codec.empty()) {
+    os << ",\"codec\":{\"name\":\"";
+    write_escaped(os, codec);
+    os << "\",\"saved_bytes\":" << codec_saved_bytes
+       << ",\"exact_folds\":" << codec_exact_folds
+       << ",\"requant_folds\":" << codec_requant_folds
+       << ",\"residual_l2\":" << codec_residual_l2 << "}";
+  }
+
   if (psim.partitions > 0) {
     os << ",\"psim\":{\"partitions\":" << psim.partitions
        << ",\"sync_rounds\":" << psim.sync_rounds

@@ -66,6 +66,16 @@ struct RunReport {
   /// native engine paths stay byte-identical to earlier schema consumers.
   std::string algorithm;
 
+  // --- wire-codec lane (Config::codec) -------------------------------------
+  /// Codec name ("fp8", "q8", ...). Empty when the codec is disabled; the
+  /// "codec" JSON section is serialized only when non-empty, so
+  /// uncompressed reports stay byte-identical.
+  std::string codec;
+  std::uint64_t codec_saved_bytes = 0;
+  std::uint64_t codec_exact_folds = 0;
+  std::uint64_t codec_requant_folds = 0;
+  double codec_residual_l2 = 0.0;
+
   // --- bytes-conservation totals (tracer rolling counters) ----------------
   /// Payload bytes observed leaving worker NICs in the trace; equals
   /// sum(worker_data_bytes) + retransmit_payload_bytes on dedicated

@@ -1,0 +1,488 @@
+// Inline wire-codec layer: blockwise FP8/Q8/Q6/Q4 codecs on both legs of
+// the collective. Contracts pinned here:
+//   - per-codec round-trip error bounds and exact wire payload sizes,
+//   - quantized-domain folds are exact (order-independent integer sums),
+//   - codec-encoded allreduces verify within the analytic slack,
+//   - codec disabled == byte-identical to the seed goldens,
+//   - codec enabled == replay-bit-identical, including the parallel
+//     engine (OMR_SIM_THREADS) and the serialized RunReport,
+//   - the online selector scores codec lanes and flips at the size
+//     crossover (setup cost vs. wire shrink).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compress/wire_codec.h"
+#include "core/algorithm.h"
+#include "core/cluster.h"
+#include "core/engine.h"
+#include "core/selector.h"
+#include "sim/rng.h"
+#include "telemetry/report.h"
+#include "tensor/generators.h"
+
+namespace omr::core {
+namespace {
+
+using compress::EncodedBlock;
+using compress::QuantAccumulator;
+using compress::WireCodec;
+using compress::kCodecGroup;
+
+/// Set/restore one environment variable for the scope of a test.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+const WireCodec kAllCodecs[] = {WireCodec::kFp8, WireCodec::kQ8,
+                                WireCodec::kQ6, WireCodec::kQ4};
+
+std::vector<float> random_values(std::size_t n, double scale, sim::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>((rng.next_double() * 2.0 - 1.0) * scale);
+  }
+  return v;
+}
+
+TEST(WireCodec, NamesRoundTrip) {
+  const auto names = compress::codec_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.front(), "none");
+  for (const auto& name : names) {
+    EXPECT_EQ(compress::codec_name(compress::codec_from_name(name)), name);
+  }
+  EXPECT_THROW(compress::codec_from_name("zstd"), std::invalid_argument);
+}
+
+TEST(WireCodec, PayloadBytesMatchWireFormat) {
+  // Per full 32-element group: fp8 = 2B scale + 32 codes = 34; q8 = 4B
+  // scale+zero + 32 = 36; q6 = 4 + 24 = 28; q4 = 4 + 16 = 20. kNone is
+  // raw fp32.
+  EXPECT_EQ(compress::codec_payload_bytes(WireCodec::kNone, 32), 128u);
+  EXPECT_EQ(compress::codec_payload_bytes(WireCodec::kFp8, 32), 34u);
+  EXPECT_EQ(compress::codec_payload_bytes(WireCodec::kQ8, 32), 36u);
+  EXPECT_EQ(compress::codec_payload_bytes(WireCodec::kQ6, 32), 28u);
+  EXPECT_EQ(compress::codec_payload_bytes(WireCodec::kQ4, 32), 20u);
+  // A 256-element engine block carries 8 groups.
+  for (WireCodec c : kAllCodecs) {
+    EXPECT_EQ(compress::codec_payload_bytes(c, 256),
+              8 * compress::codec_payload_bytes(c, 32));
+  }
+  // Partial trailing group: packed code bytes round up, metadata in full.
+  EXPECT_EQ(compress::codec_payload_bytes(WireCodec::kQ4, 33),
+            20u + 4u + 1u);
+  // Asymptotic bits per element match the exact accounting.
+  for (WireCodec c : kAllCodecs) {
+    const std::size_t n = 1 << 16;
+    const double bits =
+        8.0 * static_cast<double>(compress::codec_payload_bytes(c, n)) /
+        static_cast<double>(n);
+    EXPECT_NEAR(bits, compress::codec_bits_per_element(c), 1e-9)
+        << compress::codec_name(c);
+  }
+}
+
+TEST(WireCodec, RoundTripRespectsErrorBound) {
+  sim::Rng rng(2024);
+  for (WireCodec c : kAllCodecs) {
+    SCOPED_TRACE(compress::codec_name(c));
+    for (std::size_t n : {std::size_t{32}, std::size_t{256},
+                          std::size_t{77}}) {  // incl. a partial group
+      const std::vector<float> x = random_values(n, 3.7, rng);
+      EncodedBlock e;
+      compress::encode_block(x.data(), n, c, e);
+      std::vector<float> y(n);
+      compress::decode_block(e, y.data());
+      for (std::size_t g = 0; g * kCodecGroup < n; ++g) {
+        const std::size_t lo = g * kCodecGroup;
+        const std::size_t hi = std::min(n, lo + kCodecGroup);
+        float amax = 0.0f;
+        for (std::size_t i = lo; i < hi; ++i) {
+          amax = std::max(amax, std::fabs(x[i]));
+        }
+        const double bound =
+            compress::codec_rel_error_bound(c) * static_cast<double>(amax);
+        for (std::size_t i = lo; i < hi; ++i) {
+          EXPECT_LE(std::fabs(static_cast<double>(x[i]) - y[i]), bound)
+              << "element " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(WireCodec, ZeroAndConstantBlocksAreExact) {
+  for (WireCodec c : kAllCodecs) {
+    SCOPED_TRACE(compress::codec_name(c));
+    std::vector<float> zeros(64, 0.0f);
+    compress::codec_roundtrip(zeros.data(), zeros.size(), c);
+    for (float v : zeros) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+// Workers whose per-group (min, max) agree produce bitwise-equal fp16
+// scales/zeros, so the aggregator folds integer codes: the decoded sum
+// must equal scale * sum(q) + k * zero evaluated in double, exactly.
+TEST(WireCodec, QuantizedFoldIsExactAndOrderIndependent) {
+  constexpr std::size_t kN = 64;  // two groups
+  constexpr std::size_t kWorkers = 4;
+  sim::Rng rng(7);
+  std::vector<EncodedBlock> blocks(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    std::vector<float> x = random_values(kN, 2.0, rng);
+    for (std::size_t g = 0; g * kCodecGroup < kN; ++g) {
+      x[g * kCodecGroup] = -2.0f;     // pin the group min...
+      x[g * kCodecGroup + 1] = 6.0f;  // ...and max across workers
+    }
+    compress::encode_block(x.data(), kN, WireCodec::kQ8, blocks[w]);
+  }
+
+  QuantAccumulator acc;
+  acc.reset();
+  for (const auto& b : blocks) EXPECT_TRUE(acc.fold(&b));
+  ASSERT_TRUE(acc.active);
+  EXPECT_EQ(acc.k, kWorkers);
+  std::vector<float> sum(kN);
+  acc.decode(sum.data(), kN);
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    const std::size_t g = i / kCodecGroup;
+    double ref = 0.0;
+    for (const auto& b : blocks) {
+      ref += static_cast<double>(b.scale[g]) * b.q[i];
+    }
+    ref += static_cast<double>(kWorkers) *
+           static_cast<double>(blocks[0].zero[g]);
+    EXPECT_EQ(sum[i], static_cast<float>(ref)) << "element " << i;
+  }
+
+  // Integer sums commute: reversed fold order is bit-identical.
+  QuantAccumulator rev;
+  rev.reset();
+  for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+    EXPECT_TRUE(rev.fold(&*it));
+  }
+  std::vector<float> sum_rev(kN);
+  rev.decode(sum_rev.data(), kN);
+  EXPECT_EQ(sum, sum_rev);
+}
+
+TEST(WireCodec, IncompatibleContributionsDeactivateTheAccumulator) {
+  sim::Rng rng(9);
+  const std::vector<float> a = random_values(32, 1.0, rng);
+  const std::vector<float> b = random_values(32, 100.0, rng);  // new scale
+  EncodedBlock ea, eb, efp;
+  compress::encode_block(a.data(), a.size(), WireCodec::kQ8, ea);
+  compress::encode_block(b.data(), b.size(), WireCodec::kQ8, eb);
+  compress::encode_block(a.data(), a.size(), WireCodec::kFp8, efp);
+
+  QuantAccumulator acc;
+  acc.reset();
+  EXPECT_TRUE(acc.fold(&ea));
+  EXPECT_FALSE(acc.fold(&eb));  // mismatched scales -> float-domain fallback
+  EXPECT_FALSE(acc.active);
+
+  acc.reset();
+  EXPECT_FALSE(acc.fold(&efp));  // e4m3 codes are not additive
+  EXPECT_FALSE(acc.active);
+
+  acc.reset();
+  EXPECT_TRUE(acc.fold(&ea));
+  EXPECT_FALSE(acc.fold(nullptr));  // raw fp32 contribution
+  EXPECT_FALSE(acc.active);
+}
+
+struct RunSetup {
+  Config cfg;
+  ClusterSpec cluster;
+  std::size_t n_workers = 4;
+  std::size_t elements = 65536;
+  double sparsity = 0.85;
+};
+
+RunSetup make_setup(Transport transport, double loss_rate) {
+  RunSetup s;
+  s.cfg = Config::for_transport(transport);
+  FabricConfig fabric;
+  fabric.loss_rate = loss_rate;
+  fabric.seed = 7;
+  s.cluster = ClusterSpec::dedicated(4, fabric);
+  return s;
+}
+
+std::vector<tensor::DenseTensor> make_tensors(const RunSetup& s) {
+  sim::Rng rng(42);
+  return tensor::make_multi_worker(s.n_workers, s.elements, s.cfg.block_size,
+                                   s.sparsity, tensor::OverlapMode::kRandom,
+                                   rng);
+}
+
+RunStats run_once(const RunSetup& s, bool verify = false,
+                  std::vector<tensor::DenseTensor>* out = nullptr) {
+  auto tensors = make_tensors(s);
+  RunStats stats = run_allreduce(tensors, s.cfg, s.cluster, verify);
+  if (out != nullptr) *out = std::move(tensors);
+  return stats;
+}
+
+void expect_identical(const RunStats& a, const RunStats& b) {
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.worker_finish, b.worker_finish);
+  EXPECT_EQ(a.worker_data_bytes, b.worker_data_bytes);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.acks, b.acks);
+  EXPECT_EQ(a.duplicate_resends, b.duplicate_resends);
+  EXPECT_EQ(a.codec, b.codec);
+  EXPECT_EQ(a.codec_saved_bytes, b.codec_saved_bytes);
+  EXPECT_EQ(a.codec_exact_folds, b.codec_exact_folds);
+  EXPECT_EQ(a.codec_requant_folds, b.codec_requant_folds);
+  EXPECT_EQ(a.codec_residual_l2, b.codec_residual_l2);
+}
+
+// The codec-disabled default must reproduce the seed goldens bit-exactly
+// (same pins as test_determinism — re-asserted under the codec label so a
+// codec-layer regression cannot hide behind a suite filter).
+
+TEST(CodecDisabled, RdmaMatchesSeedGolden) {
+  const RunStats a = run_once(make_setup(Transport::kRdma, 0.0));
+  EXPECT_EQ(a.completion_time, 467621);
+  EXPECT_EQ(a.worker_data_bytes,
+            (std::vector<std::uint64_t>{38912, 38912, 38912, 38912}));
+  EXPECT_EQ(a.total_messages, 1176u);
+  EXPECT_EQ(a.rounds, 375u);
+  EXPECT_TRUE(a.codec.empty());
+  EXPECT_EQ(a.codec_saved_bytes, 0u);
+}
+
+TEST(CodecDisabled, LossyDpdkMatchesSeedGolden) {
+  const RunStats a = run_once(make_setup(Transport::kDpdk, 0.01));
+  EXPECT_EQ(a.completion_time, 1353163);
+  EXPECT_EQ(a.retransmissions, 78u);
+  EXPECT_EQ(a.dropped_messages, 32u);
+  EXPECT_EQ(a.acks, 324u);
+  EXPECT_EQ(a.duplicate_resends, 38u);
+  EXPECT_TRUE(a.codec.empty());
+}
+
+TEST(CodecDisabled, ReportJsonHasNoCodecSection) {
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  auto tensors = make_tensors(s);
+  telemetry::RunReport report =
+      core::run_allreduce_report(tensors, s.cfg, s.cluster, /*verify=*/true);
+  std::ostringstream os;
+  report.write_json(os);
+  EXPECT_EQ(os.str().find("\"codec\""), std::string::npos);
+}
+
+TEST(CodecEnabled, EveryCodecVerifiesAndShrinksTheWire) {
+  const RunStats base = run_once(make_setup(Transport::kRdma, 0.0));
+  for (WireCodec c : kAllCodecs) {
+    SCOPED_TRACE(compress::codec_name(c));
+    RunSetup s = make_setup(Transport::kRdma, 0.0);
+    s.cfg.codec.codec = c;
+    const RunStats a = run_once(s, /*verify=*/true);
+    EXPECT_TRUE(a.verified) << "max_error " << a.max_error;
+    EXPECT_EQ(a.codec, compress::codec_name(c));
+    EXPECT_GT(a.codec_saved_bytes, 0u);
+    EXPECT_GT(a.codec_residual_l2, 0.0);
+    // Payload accounting reflects the encoded wire size on both legs.
+    for (std::size_t w = 0; w < a.worker_data_bytes.size(); ++w) {
+      EXPECT_LT(a.worker_data_bytes[w], base.worker_data_bytes[w]);
+    }
+  }
+}
+
+TEST(CodecEnabled, IdenticalWorkerTensorsFoldInTheQuantizedDomain) {
+  // Bitwise-equal inputs produce bitwise-equal (scale, zero) per group, so
+  // every aggregator fold stays in the integer domain.
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cfg.codec.codec = WireCodec::kQ8;
+  sim::Rng rng(42);
+  auto tensors = tensor::make_multi_worker(1, s.elements, s.cfg.block_size,
+                                           s.sparsity,
+                                           tensor::OverlapMode::kRandom, rng);
+  std::vector<tensor::DenseTensor> replicated(4, tensors.front());
+  const RunStats a =
+      run_allreduce(replicated, s.cfg, s.cluster, /*verify=*/true);
+  EXPECT_TRUE(a.verified);
+  EXPECT_GT(a.codec_exact_folds, 0u);
+  EXPECT_EQ(a.codec_requant_folds, 0u);
+}
+
+TEST(CodecEnabled, RandomTensorsTakeTheRequantFallback) {
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cfg.codec.codec = WireCodec::kQ8;
+  const RunStats a = run_once(s, /*verify=*/true);
+  EXPECT_TRUE(a.verified);
+  EXPECT_GT(a.codec_requant_folds, 0u);
+}
+
+TEST(CodecEnabled, EncodedRunsReplayBitIdentically) {
+  for (Transport t : {Transport::kRdma, Transport::kDpdk}) {
+    SCOPED_TRACE(t == Transport::kRdma ? "rdma" : "dpdk+loss");
+    RunSetup s = make_setup(t, t == Transport::kDpdk ? 0.01 : 0.0);
+    s.cfg.codec.codec = WireCodec::kQ4;
+    std::vector<tensor::DenseTensor> ra, rb;
+    const RunStats a = run_once(s, /*verify=*/false, &ra);
+    const RunStats b = run_once(s, /*verify=*/false, &rb);
+    expect_identical(a, b);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t w = 0; w < ra.size(); ++w) {
+      EXPECT_TRUE(ra[w] == rb[w]) << "worker " << w;  // bitwise
+    }
+  }
+}
+
+TEST(CodecEnabled, ParallelEngineMatchesSerialBitExactly) {
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cfg.codec.codec = WireCodec::kQ4;
+  std::vector<tensor::DenseTensor> serial_result, parallel_result;
+  RunStats serial, parallel;
+  {
+    ScopedEnv env("OMR_SIM_THREADS", "1");
+    serial = run_once(s, /*verify=*/false, &serial_result);
+  }
+  {
+    ScopedEnv env("OMR_SIM_THREADS", "4");
+    parallel = run_once(s, /*verify=*/false, &parallel_result);
+  }
+  expect_identical(serial, parallel);
+  ASSERT_EQ(serial_result.size(), parallel_result.size());
+  for (std::size_t w = 0; w < serial_result.size(); ++w) {
+    EXPECT_TRUE(serial_result[w] == parallel_result[w]) << "worker " << w;
+  }
+}
+
+TEST(CodecEnabled, ReportJsonCarriesTheCodecLane) {
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  s.cfg.codec.codec = WireCodec::kQ6;
+  auto tensors = make_tensors(s);
+  telemetry::RunReport report =
+      core::run_allreduce_report(tensors, s.cfg, s.cluster, /*verify=*/true);
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"codec\":{\"name\":\"q6\""), std::string::npos);
+  EXPECT_NE(json.find("\"saved_bytes\""), std::string::npos);
+  // Serialized form replays byte-identically too.
+  auto tensors2 = make_tensors(s);
+  telemetry::RunReport again =
+      core::run_allreduce_report(tensors2, s.cfg, s.cluster, /*verify=*/true);
+  std::ostringstream os2;
+  again.write_json(os2);
+  EXPECT_EQ(json, os2.str());
+}
+
+TEST(CodecEnabled, AlgorithmsWithoutCodecSupportAreRejected) {
+  Config cfg = Config::for_transport(Transport::kRdma);
+  cfg.codec.codec = WireCodec::kQ8;
+  ClusterSpec cluster = ClusterSpec::dedicated(4);
+  sim::Rng rng(1);
+  auto tensors = tensor::make_multi_worker(4, 4096, cfg.block_size, 0.5,
+                                           tensor::OverlapMode::kRandom, rng);
+  EXPECT_THROW(run_collective("omnireduce_kv", tensors, cfg, cluster,
+                              /*verify=*/false),
+               std::invalid_argument);
+  const AlgoCapabilities kv_caps =
+      CollectiveRegistry::global().at("omnireduce_kv").capabilities();
+  EXPECT_FALSE(capabilities_allow(kv_caps, cfg, cluster));
+  // The engine algorithms accept the same Config.
+  for (const char* name : {"omnireduce", "switchml", "omnireduce_bucketed"}) {
+    const AlgoCapabilities caps =
+        CollectiveRegistry::global().at(name).capabilities();
+    EXPECT_TRUE(capabilities_allow(caps, cfg, cluster)) << name;
+  }
+}
+
+TEST(CodecSelector, LanesFlipAtTheSizeCrossover) {
+  SelectorConfig sel_cfg;
+  sel_cfg.candidates = {"omnireduce"};
+  sel_cfg.codecs = compress::codec_names();
+  OnlineSelector selector(sel_cfg);
+  const Config cfg = Config::for_transport(Transport::kRdma);
+  FabricConfig fabric;
+  fabric.worker_bandwidth_bps = 10e9;
+  fabric.aggregator_bandwidth_bps = 10e9;
+  const ClusterSpec cluster = ClusterSpec::dedicated(8, fabric);
+
+  // Small tensor: the one-time codec setup dwarfs the wire savings.
+  const SelectorDecision small =
+      selector.choose(8, 1024, 1.0, cfg, cluster);
+  EXPECT_EQ(small.codec, "none");
+
+  // Large tensor: wire shrink dominates; some codec lane must win.
+  const SelectorDecision large =
+      selector.choose(8, std::size_t{1} << 22, 1.0, cfg, cluster);
+  EXPECT_NE(large.codec, "none");
+  EXPECT_LT(large.predicted_seconds,
+            selector.choose(8, std::size_t{1} << 22, 1.0, cfg, cluster)
+                    .corrected_seconds +
+                1e-12);
+
+  // Lane-level feedback is relative: unobserved lanes inherit the mean of
+  // the observed ratios (the model's error is mostly lane-independent), so
+  // a switch needs contrast — punish the winning lane AND calibrate a
+  // rival at face value, and the selector must move to the rival.
+  const std::string rival = large.codec == "q4" ? "q6" : "q4";
+  selector.observe("omnireduce", large.codec, std::size_t{1} << 22, 1.0,
+                   large.predicted_seconds, large.predicted_seconds * 100.0);
+  selector.observe("omnireduce", rival, std::size_t{1} << 22, 1.0,
+                   large.predicted_seconds, large.predicted_seconds);
+  const SelectorDecision after =
+      selector.choose(8, std::size_t{1} << 22, 1.0, cfg, cluster);
+  EXPECT_EQ(after.codec, rival);
+}
+
+TEST(CodecSelector, AutoRunVerifiesAndReportsTheLane) {
+  SelectorConfig sel_cfg;
+  sel_cfg.candidates = {"omnireduce"};
+  sel_cfg.codecs = compress::codec_names();
+  OnlineSelector selector(sel_cfg);
+  RunSetup s = make_setup(Transport::kRdma, 0.0);
+  auto tensors = make_tensors(s);
+  SelectorDecision decision;
+  const RunStats st =
+      selector.run(tensors, s.cfg, s.cluster, &decision, /*verify=*/true);
+  EXPECT_TRUE(st.verified);
+  EXPECT_EQ(decision.algorithm, "omnireduce");
+  EXPECT_FALSE(decision.codec.empty());
+  if (decision.codec != "none") {
+    EXPECT_EQ(st.codec, decision.codec);
+  } else {
+    EXPECT_TRUE(st.codec.empty());
+  }
+}
+
+}  // namespace
+}  // namespace omr::core

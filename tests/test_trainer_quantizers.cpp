@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "compress/compressors.h"
 #include "compress/quantizers.h"
+#include "compress/wire_codec.h"
 #include "ddl/trainer.h"
 #include "tensor/blocks.h"
 
@@ -78,6 +80,31 @@ TEST(TrainerQuantizers, QuantizerComposesWithBlockSparsifier) {
   const TrainResult r = train_distributed(cfg, spec);
   EXPECT_LT(r.final_loss, r.loss_curve.front() * 0.85);
   EXPECT_LT(r.mean_gradient_block_density, 0.15);
+}
+
+TEST(TrainerQuantizers, WireCodecWithErrorFeedbackConverges) {
+  // The inline wire codecs are deterministic and biased
+  // (round-to-nearest), so — unlike QSGD above — error feedback around
+  // them is the *correct* composition: the residual memory recirculates
+  // the rounding error and training converges. This is the trainer-side
+  // contract behind CodecSpec::error_feedback in the transport.
+  const TrainerConfig cfg = quick_config();
+  const TrainResult base = train_distributed(cfg, std::nullopt);
+  for (compress::WireCodec c :
+       {compress::WireCodec::kQ8, compress::WireCodec::kQ4}) {
+    SCOPED_TRACE(compress::codec_name(c));
+    CompressionSpec spec;
+    spec.name = std::string("EF(wire-") + compress::codec_name(c) + ")";
+    spec.error_feedback = true;
+    spec.compressor = [c](const tensor::DenseTensor& g) {
+      tensor::DenseTensor out = g;
+      compress::codec_roundtrip(out.values().data(), out.size(), c);
+      return out;
+    };
+    const TrainResult r = train_distributed(cfg, spec);
+    EXPECT_LT(r.final_loss, r.loss_curve.front() * 0.85);
+    EXPECT_GT(r.test_accuracy, base.test_accuracy - 0.1);
+  }
 }
 
 TEST(TrainerQuantizers, ErrorFeedbackAroundStochasticQuantizerDiverges) {

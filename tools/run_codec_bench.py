@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Record the wire-codec crossover sweep into BENCH_codec.json.
+
+Runs bench_fig_codec (8 workers, 100 Gbps RDMA, GDR; tensor size x
+sparsity x codec grid with an "auto" selector column), parses its
+machine-readable CELL lines, and writes one JSON document with
+bytes-on-wire and total completion time per cell. The bench's own
+acceptance checks (none wins small, a codec wins large, auto within 5%
+of the best fixed codec everywhere) gate the exit code.
+
+Typical use:
+
+  tools/run_codec_bench.py --out BENCH_codec.json
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CELL_RE = re.compile(
+    r"^CELL n=(\d+) sparsity=([\d.]+) codec=(\S+) total_us=([\d.]+) "
+    r"wire_bytes=([\d.]+) verified=(\d)$"
+)
+
+
+def build(build_dir: str) -> str:
+    if not os.path.isabs(build_dir):
+        build_dir = os.path.join(REPO, build_dir)
+    if not os.path.exists(os.path.join(build_dir, "CMakeCache.txt")):
+        subprocess.run(
+            ["cmake", "-S", REPO, "-B", build_dir,
+             "-DCMAKE_BUILD_TYPE=Release"],
+            check=True,
+        )
+    subprocess.run(
+        ["cmake", "--build", build_dir, "-j", str(os.cpu_count() or 4),
+         "--target", "bench_fig_codec"],
+        check=True,
+    )
+    return build_dir
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--skip-build", action="store_true")
+    ap.add_argument("--out", default="BENCH_codec.json")
+    args = ap.parse_args()
+
+    build_dir = args.build_dir
+    if not os.path.isabs(build_dir):
+        build_dir = os.path.join(REPO, build_dir)
+    if not args.skip_build:
+        build(build_dir)
+
+    exe = os.path.join(build_dir, "bench", "bench_fig_codec")
+    if not os.path.exists(exe):
+        sys.exit(f"missing bench binary: {exe} (build it first)")
+
+    proc = subprocess.run([exe], capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+
+    cells = {}
+    for line in proc.stdout.splitlines():
+        m = CELL_RE.match(line)
+        if not m:
+            continue
+        n, sparsity, codec = int(m.group(1)), float(m.group(2)), m.group(3)
+        key = (n, sparsity)
+        cell = cells.setdefault(
+            key, {"elements": n, "tensor_bytes": n * 4, "sparsity": sparsity,
+                  "codecs": {}})
+        cell["codecs"][codec] = {
+            "total_us": float(m.group(4)),
+            "wire_bytes_per_worker": float(m.group(5)),
+            "verified": m.group(6) == "1",
+        }
+    if not cells:
+        sys.exit("no CELL lines in bench output — bench format changed?")
+
+    results = []
+    for key in sorted(cells):
+        cell = cells[key]
+        fixed = {k: v["total_us"] for k, v in cell["codecs"].items()
+                 if k != "auto"}
+        best = min(fixed, key=fixed.get)
+        cell["best_fixed"] = best
+        auto = cell["codecs"].get("auto")
+        cell["auto_over_best"] = (
+            round(auto["total_us"] / fixed[best], 4) if auto else None)
+        none = cell["codecs"].get("none")
+        cell["best_speedup_vs_none"] = (
+            round(none["total_us"] / fixed[best], 2) if none else None)
+        results.append(cell)
+
+    doc = {
+        "schema": "omnireduce.bench_codec.v1",
+        "bench": "bench_fig_codec",
+        "workers": 8,
+        "bandwidth_gbps": 100,
+        "transport": "rdma+gdr",
+        "acceptance_pass": proc.returncode == 0,
+        "results": results,
+    }
+    out_path = args.out
+    if not os.path.isabs(out_path):
+        out_path = os.path.join(REPO, out_path)
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path}")
+    if proc.returncode != 0:
+        sys.exit("FAIL: bench_fig_codec acceptance checks failed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
