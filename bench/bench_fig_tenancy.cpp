@@ -1,0 +1,204 @@
+// Multi-tenant fabric benchmark: the J x J completion-time interference
+// matrix plus a fairness-under-oversubscription weight sweep.
+//
+// Three job profiles share an 8-machine, 2-rack fabric whose spine is 8:1
+// oversubscribed. Each profile is first run alone (same placement as in
+// the pairwise runs, so any slowdown is pure link contention), then every
+// ordered pair runs concurrently; the matrix cell is
+// T_i(with j) / T_i(alone). The fairness sweep runs two identical dense
+// jobs at weights 1:1, 2:1 and 4:1 and records the Jain fairness index
+// over weight-normalized bytes on the busiest contended link.
+//
+// Usage:
+//   bench_fig_tenancy [--smoke] [--out <path>]
+//
+// --out writes a self-contained omnireduce.bench_tenancy.v1 JSON document
+// (the FabricReport schema is job-level; this bench aggregates across
+// whole fabrics, so it emits its own document instead of the ReportSink).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/tenancy.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+struct Profile {
+  const char* name;
+  std::size_t elements;
+  double block_sparsity;
+};
+
+core::TenantFabricSpec fabric_spec() {
+  core::TenantFabricSpec spec;
+  spec.n_machines = 8;
+  spec.topology = core::TopologySpec::two_tier_racks(2, 8.0);
+  return spec;
+}
+
+core::JobSpec job_spec(const char* name, bool second, double weight = 1.0) {
+  core::JobSpec job;
+  job.name = name;
+  job.config.deterministic_reduction = true;
+  job.weight = weight;
+  // Workers in rack 1, aggregator in rack 0: every data and result packet
+  // crosses the oversubscribed spine. The second job mirrors the first on
+  // the remaining machines of the same racks.
+  job.worker_machines = second ? std::vector<std::size_t>{6, 7}
+                               : std::vector<std::size_t>{4, 5};
+  job.aggregator_machines = second ? std::vector<std::size_t>{1}
+                                   : std::vector<std::size_t>{0};
+  return job;
+}
+
+core::Fabric::StepTensors make_tensors(const Profile& p, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  core::Fabric::StepTensors out(1);
+  for (std::size_t w = 0; w < 2; ++w) {
+    out[0].push_back(
+        tensor::make_block_sparse(p.elements, 256, p.block_sparsity, rng));
+  }
+  return out;
+}
+
+/// Finish time of job `index` (and optionally the whole report).
+sim::Time run_jobs(const std::vector<Profile>& profiles, std::size_t index,
+                   telemetry::FabricReport* out_report = nullptr,
+                   const std::vector<double>* weights = nullptr) {
+  core::Fabric fabric(fabric_spec());
+  std::vector<core::Fabric::StepTensors> tensors;
+  tensors.reserve(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    tensors.push_back(make_tensors(profiles[i], 1000 + i));
+  }
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const double w = weights != nullptr ? (*weights)[i] : 1.0;
+    fabric.add_job(job_spec(profiles[i].name, /*second=*/i == 1, w),
+                   tensors[i]);
+  }
+  fabric.run();
+  telemetry::FabricReport report = fabric.report();
+  const sim::Time finish = report.jobs[index].finish;
+  if (out_report != nullptr) *out_report = std::move(report);
+  return finish;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  const std::size_t scale = smoke ? 8 : 1;
+
+  const std::vector<Profile> profiles = {
+      {"small-sparse", 65536 / scale, 0.8},
+      {"large-sparse", 262144 / scale, 0.8},
+      {"dense", 262144 / scale, 0.0},
+  };
+
+  // --- alone baselines -----------------------------------------------------
+  std::vector<double> alone(profiles.size());
+  std::printf("alone completion (2-rack fabric, 8:1 spine)\n");
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    alone[i] = static_cast<double>(run_jobs({profiles[i]}, 0));
+    std::printf("  %-12s %12.0f ns\n", profiles[i].name, alone[i]);
+  }
+
+  // --- interference matrix -------------------------------------------------
+  struct MatrixCell {
+    std::size_t a, b;
+    double finish_a, finish_b;
+  };
+  std::vector<MatrixCell> matrix;
+  std::printf("\ninterference matrix: T_row(with col) / T_row(alone)\n");
+  std::printf("%-12s", "");
+  for (const Profile& p : profiles) std::printf(" %12s", p.name);
+  std::printf("\n");
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    std::printf("%-12s", profiles[i].name);
+    for (std::size_t j = 0; j < profiles.size(); ++j) {
+      if (j == i) {
+        std::printf(" %12s", "-");
+        continue;
+      }
+      const sim::Time fa = run_jobs({profiles[i], profiles[j]}, 0);
+      const sim::Time fb = run_jobs({profiles[i], profiles[j]}, 1);
+      matrix.push_back({i, j, static_cast<double>(fa),
+                        static_cast<double>(fb)});
+      std::printf(" %12.2f", static_cast<double>(fa) / alone[i]);
+    }
+    std::printf("\n");
+  }
+
+  // --- fairness weight sweep ----------------------------------------------
+  struct FairnessRow {
+    double weight_a;
+    double fairness;
+    double finish_a, finish_b;
+  };
+  const std::vector<Profile> pair = {profiles[2], profiles[2]};
+  std::vector<FairnessRow> fairness;
+  std::printf("\nfairness sweep (two dense jobs, weight_a : 1)\n");
+  std::printf("%8s %10s %14s %14s\n", "w_a", "jain", "finish_a (ns)",
+              "finish_b (ns)");
+  for (double w : {1.0, 2.0, 4.0}) {
+    const std::vector<double> weights = {w, 1.0};
+    telemetry::FabricReport report;
+    run_jobs(pair, 0, &report, &weights);
+    fairness.push_back({w, report.fairness_index,
+                        static_cast<double>(report.jobs[0].finish),
+                        static_cast<double>(report.jobs[1].finish)});
+    std::printf("%8.1f %10.4f %14.0f %14.0f\n", w, report.fairness_index,
+                fairness.back().finish_a, fairness.back().finish_b);
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    os.precision(15);  // finish times are integral ns: keep them exact
+    os << "{\"schema\":\"omnireduce.bench_tenancy.v1\",\"smoke\":"
+       << (smoke ? "true" : "false") << ",\"alone\":[";
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"profile\":\"" << profiles[i].name
+         << "\",\"finish_ns\":" << alone[i] << "}";
+    }
+    os << "],\"matrix\":[";
+    for (std::size_t k = 0; k < matrix.size(); ++k) {
+      const MatrixCell& c = matrix[k];
+      if (k > 0) os << ",";
+      os << "{\"a\":\"" << profiles[c.a].name << "\",\"b\":\""
+         << profiles[c.b].name << "\",\"finish_a_ns\":" << c.finish_a
+         << ",\"finish_b_ns\":" << c.finish_b
+         << ",\"slowdown_a\":" << c.finish_a / alone[c.a]
+         << ",\"slowdown_b\":" << c.finish_b / alone[c.b] << "}";
+    }
+    os << "],\"fairness\":[";
+    for (std::size_t k = 0; k < fairness.size(); ++k) {
+      const FairnessRow& r = fairness[k];
+      if (k > 0) os << ",";
+      os << "{\"weight_a\":" << r.weight_a << ",\"weight_b\":1.0"
+         << ",\"fairness_index\":" << r.fairness
+         << ",\"finish_a_ns\":" << r.finish_a
+         << ",\"finish_b_ns\":" << r.finish_b << "}";
+    }
+    os << "]}\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -27,12 +27,33 @@ Aggregator::Aggregator(const Config& cfg, net::Network& net,
       n_workers_(n_workers),
       kernel_(kernels::select(cfg.op, cfg.fixed_point)),
       codec_fold_(cfg.codec.enabled() && cfg.op == ReduceOp::kSum &&
-                  !cfg.fixed_point) {}
+                  !cfg.fixed_point),
+      active_count_(n_workers) {}
 
 void Aggregator::bind(net::EndpointId self,
                       std::vector<net::EndpointId> workers) {
   self_ = self;
   workers_ = std::move(workers);
+  if (!active_.empty()) set_active_workers(active_);
+}
+
+void Aggregator::set_active_workers(std::vector<std::uint8_t> active) {
+  if (!active.empty() && active.size() != n_workers_) {
+    throw std::invalid_argument("active-set size != worker count");
+  }
+  active_ = std::move(active);
+  active_eps_.clear();
+  active_count_ = n_workers_;
+  if (active_.empty()) return;
+  active_count_ = 0;
+  for (std::size_t w = 0; w < n_workers_; ++w) {
+    if (!active_[w]) continue;
+    ++active_count_;
+    if (w < workers_.size()) active_eps_.push_back(workers_[w]);
+  }
+  if (active_count_ == 0) {
+    throw std::invalid_argument("active set must name at least one worker");
+  }
 }
 
 float Aggregator::identity() const {
@@ -63,6 +84,16 @@ void Aggregator::add_stream(std::uint32_t stream, const StreamInfo& info) {
     st.next_tbl.assign(info.columns,
                        std::vector<tensor::BlockIndex>(n_workers_,
                                                        kMinusInfinity));
+    if (!active_.empty()) {
+      // Elastic mode: an inactive worker never announces. Its entry starts
+      // at kNoBlock — the max sentinel, transparent under the per-column
+      // min — so rounds complete over the active members alone.
+      for (std::size_t c = 0; c < info.columns; ++c) {
+        for (std::size_t w = 0; w < n_workers_; ++w) {
+          if (!active_[w]) st.next_tbl[c][w] = tensor::kNoBlock;
+        }
+      }
+    }
   }
   streams_.emplace(stream, std::move(st));
   if (tracer_ != nullptr) {
@@ -98,7 +129,14 @@ void Aggregator::on_message(net::EndpointId from, const net::MessagePtr& msg) {
       return;
     }
     if (const auto* rq = dynamic_cast<const ResyncRequest*>(msg.get())) {
-      handle_resync(*rq);
+      handle_resync(from, *rq);
+      return;
+    }
+  } else if (elastic()) {
+    // Elastic membership without fault injection: joining workers catch up
+    // through the same ResyncRequest handshake the crash path uses.
+    if (const auto* rq = dynamic_cast<const ResyncRequest*>(msg.get())) {
+      handle_resync(from, *rq);
       return;
     }
   }
@@ -106,8 +144,22 @@ void Aggregator::on_message(net::EndpointId from, const net::MessagePtr& msg) {
   if (p == nullptr) {
     throw std::logic_error("aggregator received non-data message");
   }
+  if (p->epoch != epoch_) {
+    // Cross-epoch straggler whose stream id may be valid again in the
+    // current step (steps reuse ids 0..n-1): without the tag a late
+    // Algorithm 2 ack could stand in for a fresh contribution. Count, drop.
+    ++stale_drops_;
+    return;
+  }
   auto it = streams_.find(p->stream);
   if (it == streams_.end()) {
+    if (elastic()) {
+      // A straggler of a previous membership epoch (e.g. an Algorithm 2
+      // retransmission that raced the epoch's begin_collective). Harmless:
+      // its round completed or its sender left; count and drop.
+      ++stale_drops_;
+      return;
+    }
     throw std::logic_error("packet for unknown stream");
   }
   if (cfg_.loss_recovery) {
@@ -201,6 +253,7 @@ net::MessagePtr Aggregator::emit_result(
   auto result = acquire_result();
   result->stream = stream;
   result->ver = ver;
+  result->epoch = epoch_;
   result->header_bytes = cfg_.header_bytes;
   result->per_block_meta_bytes = cfg_.per_block_meta_bytes;
   result->value_bytes = cfg_.value_bytes;
@@ -255,16 +308,17 @@ net::MessagePtr Aggregator::emit_result(
     if (st.cur[c] != tensor::kNoBlock) all_done = false;
   }
   net::MessagePtr shared = result;
+  const std::vector<net::EndpointId>& targets = result_targets();
   if (cfg_.switch_multicast) {
     // In-network aggregator: the switch data plane replicates the packet —
     // one TX serialization regardless of worker count.
-    net_.send_switch_multicast(self_, workers_, shared);
+    net_.send_switch_multicast(self_, targets, shared);
   } else {
     // Server-based aggregator: one unicast per worker, each paying TX
     // serialization on the aggregator NIC.
-    for (net::EndpointId w : workers_) net_.send(self_, w, shared);
+    for (net::EndpointId w : targets) net_.send(self_, w, shared);
   }
-  results_sent_ += workers_.size();
+  results_sent_ += targets.size();
   ++rounds_completed_;
   if (tracer_ != nullptr) {
     tracer_->round_advance(pid_, net_.simulator().now(), stream,
@@ -307,7 +361,7 @@ void Aggregator::handle_alg1(SlotState& st, std::uint32_t stream,
   recycle_packet(st.last_result);
   st.last_result = emit_result(st, stream, 0, requests, st.slot,
                                codec_fold_ ? &st.qacc : nullptr);
-  if (faults_ != nullptr) {
+  if (faults_ != nullptr || elastic()) {
     st.last_emitted =
         std::static_pointer_cast<const ResultPacket>(st.last_result);
   }
@@ -357,7 +411,7 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
     }
   }
   stage(st, sv.data, sv.pending, codec_fold_ ? &sv.qacc : nullptr, p);
-  if (sv.count == n_workers_) {
+  if (sv.count == active_count_) {
     sv.count = 0;
     ++sv.serial;  // round closed: void its pending liveness checks
     drain_pending(sv.data, sv.pending);
@@ -366,14 +420,14 @@ void Aggregator::handle_alg2(SlotState& st, std::uint32_t stream,
     recycle_packet(sv.last_result);
     sv.last_result = emit_result(st, stream, v, sv.min_next, sv.data,
                                  codec_fold_ ? &sv.qacc : nullptr);
-    if (faults_ != nullptr) {
+    if (faults_ != nullptr || elastic()) {
       st.last_emitted =
           std::static_pointer_cast<const ResultPacket>(sv.last_result);
     }
   }
 }
 
-void Aggregator::handle_resync(const ResyncRequest& rq) {
+void Aggregator::handle_resync(net::EndpointId from, const ResyncRequest& rq) {
   auto it = streams_.find(rq.stream);
   if (it == streams_.end()) {
     throw std::logic_error("resync for unknown stream");
@@ -387,7 +441,10 @@ void Aggregator::handle_resync(const ResyncRequest& rq) {
   if (tracer_ != nullptr) {
     tracer_->resync(pid_, net_.simulator().now(), rq.stream);
   }
-  net_.send(self_, workers_[rq.wid], resp);
+  // Reply to the requesting endpoint. For a crash-restart this is the
+  // worker's own endpoint (identical to the pre-elastic reply target); a
+  // join agent asking on a worker's behalf gets the state transfer itself.
+  net_.send(self_, from, resp);
 }
 
 void Aggregator::liveness_check(std::uint32_t stream, std::uint8_t v,
@@ -411,6 +468,7 @@ void Aggregator::liveness_check(std::uint32_t stream, std::uint8_t v,
   // The round that armed this check is still open past the liveness
   // deadline: declare the lowest-id silent worker dead.
   for (std::uint32_t w = 0; w < n_workers_; ++w) {
+    if (!active_.empty() && !active_[w]) continue;  // not expected this epoch
     if (!sv.seen[w]) {
       faults_->declare_worker_dead(
           w, now,

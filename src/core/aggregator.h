@@ -43,6 +43,24 @@ class Aggregator final : public net::Endpoint {
     node_index_ = node_index;
   }
 
+  /// Elastic membership (multi-tenant Fabric): declare which workers
+  /// participate in the collectives that follow. `active[w]` is truthy for
+  /// a participating worker; an empty vector (the default) means all of
+  /// them — the legacy path, byte-identical to pre-elastic runs. While a
+  /// non-empty set is installed the aggregator also becomes elastic-aware:
+  /// rounds complete over the active count, results go to active workers
+  /// only, ResyncRequests are served without a FaultController (join
+  /// catch-up) and packets for unknown streams are dropped and counted
+  /// instead of thrown (late duplicates from a previous membership epoch).
+  /// Call before add_stream of the affected collective.
+  void set_active_workers(std::vector<std::uint8_t> active);
+
+  /// Membership epoch of the next collective (see DataPacket::epoch):
+  /// results are stamped with it and data packets of a different epoch are
+  /// dropped into stale_drops(). Call alongside begin_collective(); the
+  /// default 0 matches every single-collective run byte-identically.
+  void set_epoch(std::uint8_t epoch) { epoch_ = epoch; }
+
   /// Register ownership of a stream's slot. Must be called for every
   /// stream routed to this node before traffic arrives.
   void add_stream(std::uint32_t stream, const StreamInfo& info);
@@ -60,6 +78,9 @@ class Aggregator final : public net::Endpoint {
   std::uint64_t duplicate_resends() const { return duplicate_resends_; }
   std::uint64_t rounds_completed() const { return rounds_completed_; }
   std::uint64_t resyncs_served() const { return resyncs_served_; }
+  /// Packets dropped because their stream is no longer registered (elastic
+  /// mode only: stragglers of a previous membership epoch).
+  std::uint64_t stale_drops() const { return stale_drops_; }
   /// Wire bytes saved by the codec on the result leg (0 when disabled).
   std::uint64_t codec_saved_bytes() const { return codec_saved_bytes_; }
   /// Emitted columns whose sum was reconstructed exactly in the quantized
@@ -112,8 +133,16 @@ class Aggregator final : public net::Endpoint {
                    const std::shared_ptr<const DataPacket>& p);
   void handle_alg2(SlotState& st, std::uint32_t stream,
                    const std::shared_ptr<const DataPacket>& p);
-  /// Crash recovery: answer with the stream's last emitted result.
-  void handle_resync(const ResyncRequest& rq);
+  /// Crash recovery / join catch-up: answer `from` with the stream's last
+  /// emitted result.
+  void handle_resync(net::EndpointId from, const ResyncRequest& rq);
+  /// True while an explicit (possibly partial) membership set is installed.
+  bool elastic() const { return !active_.empty(); }
+  /// Result fan-out: the active workers' endpoints in elastic mode, every
+  /// worker otherwise.
+  const std::vector<net::EndpointId>& result_targets() const {
+    return active_.empty() ? workers_ : active_eps_;
+  }
   /// Liveness deadline for a round of (stream, version): if the same round
   /// (by serial) is still open, the lowest-id missing worker is declared
   /// dead through the FaultController.
@@ -169,6 +198,14 @@ class Aggregator final : public net::Endpoint {
   std::size_t node_index_ = 0;
   net::EndpointId self_ = -1;
   std::vector<net::EndpointId> workers_;
+  /// Elastic membership: per-worker participation flags (empty = all
+  /// active), the active count rounds complete over, and the cached active
+  /// endpoints results multicast to.
+  std::vector<std::uint8_t> active_;
+  std::size_t active_count_;
+  std::vector<net::EndpointId> active_eps_;
+  std::uint8_t epoch_ = 0;  // membership epoch stamped on outgoing results
+  std::uint64_t stale_drops_ = 0;
   std::unordered_map<std::uint32_t, SlotState> streams_;
   std::size_t streams_done_ = 0;
   std::uint64_t results_sent_ = 0;

@@ -11,6 +11,7 @@
 
 #include "core/fabric.h"
 #include "core/stream_layout.h"
+#include "core/wiring.h"
 #include "net/network.h"
 #include "runner/psim.h"
 #include "tensor/blocks.h"
@@ -243,37 +244,16 @@ RunStats run_allreduce_impl(std::vector<tensor::DenseTensor>& tensors,
     }
   }
 
-  std::vector<std::unique_ptr<Worker>> workers;
-  std::vector<net::EndpointId> worker_eps;
+  // Per-job protocol wiring, split from the cluster construction above so
+  // the multi-tenant Fabric can wire several jobs onto one network.
+  ProtocolWiring wiring = wire_protocol(run_cfg, network, worker_nics,
+                                        agg_nics, {tracer, faults.get()});
+  std::vector<std::unique_ptr<Worker>>& workers = wiring.workers;
+  std::vector<std::unique_ptr<Aggregator>>& aggs = wiring.aggregators;
+  const std::vector<net::EndpointId> agg_of_stream =
+      shard_streams(layout, aggs, wiring.agg_eps);
   for (std::size_t w = 0; w < n_workers; ++w) {
-    workers.push_back(std::make_unique<Worker>(
-        run_cfg, network, static_cast<std::uint32_t>(w)));
-    workers.back()->set_tracer(tracer);
-    workers.back()->set_faults(faults.get());
-    worker_eps.push_back(network.attach(workers.back().get(),
-                                        worker_nics[w]));
-  }
-  std::vector<std::unique_ptr<Aggregator>> aggs;
-  std::vector<net::EndpointId> agg_eps;
-  for (std::size_t a = 0; a < n_aggregator_nodes; ++a) {
-    aggs.push_back(std::make_unique<Aggregator>(run_cfg, network, n_workers));
-    aggs.back()->set_tracer(tracer, telemetry::aggregator_pid(a));
-    aggs.back()->set_faults(faults.get(), a);
-    agg_eps.push_back(network.attach(aggs.back().get(), agg_nics[a]));
-    aggs.back()->bind(agg_eps.back(), worker_eps);
-    if (faults != nullptr) faults->register_aggregator(agg_eps.back(), a);
-  }
-
-  // Streams are sharded round-robin across aggregator nodes (§3: each node
-  // owns a disjoint shard of blocks).
-  std::vector<net::EndpointId> agg_of_stream(layout.streams.size());
-  for (std::size_t s = 0; s < layout.streams.size(); ++s) {
-    const std::size_t a = s % n_aggregator_nodes;
-    agg_of_stream[s] = agg_eps[a];
-    aggs[a]->add_stream(static_cast<std::uint32_t>(s), layout.streams[s]);
-  }
-  for (std::size_t w = 0; w < n_workers; ++w) {
-    workers[w]->bind(worker_eps[w], agg_of_stream);
+    workers[w]->bind(wiring.worker_eps[w], agg_of_stream);
   }
 
   // --- conservative parallel engine (OMR_SIM_THREADS) ---------------------

@@ -40,6 +40,12 @@ inline std::size_t column_payload_bytes(const ColumnBlock& c,
 struct DataPacket final : net::Message {
   std::uint32_t stream = 0;
   std::uint8_t ver = 0;  // slot version (Algorithm 2); 0 when unused
+  /// Membership-epoch tag (multi-step elastic runs): receivers drop packets
+  /// whose epoch differs from their own, so an Algorithm 2 straggler of a
+  /// finished step can never be misread as traffic of the step that reuses
+  /// its stream id. Rides inside header_bytes (wire size unchanged); always
+  /// 0 in single-collective runs, where the check can never fire.
+  std::uint8_t epoch = 0;
   std::uint32_t wid = 0;
   std::vector<ColumnBlock> columns;
   std::vector<tensor::BlockIndex> next;  // size = active columns
@@ -68,6 +74,7 @@ struct DataPacket final : net::Message {
 struct ResultPacket final : net::Message {
   std::uint32_t stream = 0;
   std::uint8_t ver = 0;
+  std::uint8_t epoch = 0;  // membership-epoch tag (see DataPacket::epoch)
   std::vector<ColumnBlock> columns;
   std::vector<tensor::BlockIndex> request;  // size = active columns
   std::size_t header_bytes = 64;

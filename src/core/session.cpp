@@ -8,6 +8,7 @@
 #include "core/algorithm.h"
 #include "core/fabric.h"
 #include "core/stream_layout.h"
+#include "core/wiring.h"
 #include "tensor/blocks.h"
 
 namespace omr::core {
@@ -87,26 +88,12 @@ Session::Session(const Config& cfg, std::size_t n_workers,
 Session::~Session() = default;
 
 void Session::rebuild_endpoints() {
-  std::vector<net::EndpointId> worker_eps;
-  for (std::size_t w = 0; w < n_workers_; ++w) {
-    workers_.push_back(std::make_unique<Worker>(
-        cfg_, *network_, static_cast<std::uint32_t>(w)));
-    workers_.back()->set_tracer(tracer_.get());
-    worker_eps.push_back(network_->attach(workers_.back().get(),
-                                          worker_nics_[w]));
-  }
-  std::vector<net::EndpointId> agg_eps;
-  for (std::size_t a = 0; a < n_aggregators_; ++a) {
-    aggregators_.push_back(
-        std::make_unique<Aggregator>(cfg_, *network_, n_workers_));
-    aggregators_.back()->set_tracer(tracer_.get(),
-                                    telemetry::aggregator_pid(a));
-    agg_eps.push_back(network_->attach(aggregators_.back().get(),
-                                       agg_nics_[a]));
-    aggregators_.back()->bind(agg_eps.back(), worker_eps);
-  }
-  worker_eps_ = std::move(worker_eps);
-  agg_eps_ = std::move(agg_eps);
+  ProtocolWiring wiring = wire_protocol(cfg_, *network_, worker_nics_,
+                                        agg_nics_, {tracer_.get(), nullptr});
+  workers_ = std::move(wiring.workers);
+  aggregators_ = std::move(wiring.aggregators);
+  worker_eps_ = std::move(wiring.worker_eps);
+  agg_eps_ = std::move(wiring.agg_eps);
 }
 
 sim::Time Session::now() const { return simulator_->now(); }
@@ -167,14 +154,9 @@ RunStats Session::run_collective(std::vector<tensor::DenseTensor>& tensors,
       collect_link_reports(*network_);
 
   const StreamLayout layout = StreamLayout::build(n, cfg_);
-  std::vector<net::EndpointId> agg_of_stream(layout.streams.size());
   for (auto& agg : aggregators_) agg->begin_collective();
-  for (std::size_t s = 0; s < layout.streams.size(); ++s) {
-    const std::size_t a = s % n_aggregators_;
-    agg_of_stream[s] = agg_eps_[a];
-    aggregators_[a]->add_stream(static_cast<std::uint32_t>(s),
-                                layout.streams[s]);
-  }
+  const std::vector<net::EndpointId> agg_of_stream =
+      shard_streams(layout, aggregators_, agg_eps_);
   const auto& offsets = spec_.fabric.worker_start_offsets;
   for (std::size_t w = 0; w < n_workers_; ++w) {
     workers_[w]->bind(worker_eps_[w], agg_of_stream);

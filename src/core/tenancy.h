@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/config.h"
+#include "device/device_model.h"
+#include "innet/slot_pool.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+#include "telemetry/report.h"
+#include "tensor/dense.h"
+
+namespace omr::core {
+
+class Worker;
+class Aggregator;
+
+/// The shared physical substrate of a multi-tenant run: N machines (one
+/// NIC each) joined by a topology, plus the switch-slot budget jobs draw
+/// their aggregation slots from. Unlike ClusterSpec — which describes one
+/// job's cluster — a TenantFabricSpec knows nothing about workers or
+/// aggregators: jobs map their endpoints onto machines via JobSpec.
+struct TenantFabricSpec {
+  std::size_t n_machines = 4;
+  double machine_bandwidth_bps = 10e9;
+  double machine_rx_overhead_ns = 0.0;
+  sim::Time one_way_latency = sim::microseconds(10);
+  /// Fabric shape. kIdealSwitch ignores the rack fields; kTwoTier places
+  /// machines in racks under ToR switches joined by an oversubscribable
+  /// spine — the contended links weighted-fair sharing acts on.
+  TopologySpec topology;
+  /// Rack of each machine (kTwoTier; empty = contiguous fill).
+  std::vector<int> machine_racks;
+  std::uint64_t seed = 1;
+  /// Programmable-switch aggregation slots shared by all jobs (0 =
+  /// unlimited). Jobs whose config uses the switch data plane
+  /// (switch_multicast) reserve their peak stream count at admission and
+  /// are rejected — not run — when the pool cannot fit them.
+  std::size_t switch_slots = 0;
+  device::DeviceModel device;
+};
+
+/// One elastic-membership change: before step `before_step` starts, job
+/// worker `worker` joins (runs a resync catch-up handshake against the
+/// previous step's aggregators, modeling state transfer) or leaves (is
+/// simply excluded from the step's active set — crash-style departure).
+struct JobMembershipEvent {
+  std::size_t before_step = 0;  // must be >= 1: step 0 uses initial_active
+  std::size_t worker = 0;       // job-local worker index
+  bool join = true;
+};
+
+/// One tenant: an independent training job with its own algorithm Config,
+/// weight, start time and machine placement. Worker i of the job runs on
+/// fabric machine worker_machines[i]; aggregator shard a on
+/// aggregator_machines[a]. Machines may be shared between jobs (their NIC
+/// is then FIFO-shared, like two processes on one host) and between roles.
+struct JobSpec {
+  std::string name;
+  Config config;
+  std::vector<std::size_t> worker_machines;
+  std::vector<std::size_t> aggregator_machines;
+  /// Weighted-fair share on contended fabric links (> 0).
+  double weight = 1.0;
+  /// Virtual time the job's first step begins.
+  sim::Time start_at = 0;
+  /// Step-0 membership: active flag per job worker (empty = all active).
+  std::vector<std::uint8_t> initial_active;
+  /// Joins/leaves applied between steps, in any order.
+  std::vector<JobMembershipEvent> membership;
+  /// Check every step's result against a pre-computed reference reduction
+  /// over that step's active members.
+  bool verify = true;
+};
+
+/// Multi-tenant run context: one simulator + one network shared by N
+/// concurrent jobs. Replaces the engine's one-job-per-simulator assumption
+/// for concurrency studies; single-job paths (run_allreduce, Session) are
+/// untouched and byte-identical.
+///
+/// Steps of a job are sequenced by a per-job control plane whose messages
+/// travel the simulated fabric itself (a JobController plus one agent per
+/// worker/aggregator machine), so every cross-machine effect flows through
+/// Network::send and the conservative parallel engine (OMR_SIM_THREADS)
+/// reproduces serial results bit-identically — each job's kickoff folds
+/// its job index into the birth-key tie-break. Contended interior links
+/// are shared weighted-fair by job weight (net::Network::set_tenants);
+/// machine NICs stay FIFO, as real hosts are.
+///
+/// Usage:
+///   Fabric fabric(spec);
+///   fabric.add_job(job_a, tensors_a);   // [step][job worker], outlive run
+///   fabric.add_job(job_b, tensors_b);
+///   fabric.run();
+///   telemetry::FabricReport r = fabric.report();
+class Fabric {
+ public:
+  /// Per-job inputs: tensors[s][w] is job worker w's contribution to step
+  /// s, reduced in place (only active workers' tensors are touched).
+  using StepTensors = std::vector<std::vector<tensor::DenseTensor>>;
+
+  explicit Fabric(TenantFabricSpec spec);
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Register a job. `tensors` must outlive run(). Returns the job index.
+  /// A job the switch-slot pool cannot admit is recorded as rejected (see
+  /// report()) and does not run; add_job itself only throws on malformed
+  /// specs (bad machine index, bad membership schedule, size mismatches).
+  int add_job(JobSpec spec, StepTensors& tensors);
+
+  /// Whether job `job` passed admission.
+  bool admitted(int job) const;
+
+  /// Run every admitted job to completion. Serial by default; with
+  /// OMR_SIM_THREADS > 1 and a usable topology lookahead the conservative
+  /// parallel engine partitions the machines, bit-identical to serial.
+  /// Call once; throws if a step's result fails verification.
+  void run();
+
+  /// Fabric-level outcome: per-job summaries, the per-(link, job) traffic
+  /// split of every contended link, and a Jain fairness index over
+  /// weight-normalized bytes on the busiest shared link.
+  telemetry::FabricReport report() const;
+
+  net::Network& network() { return *network_; }
+
+ private:
+  struct JobState;
+  class JobController;
+  class WorkerAgent;
+  class AggAgent;
+
+  void run_serial();
+  bool try_run_partitioned();
+  void kickoff(JobState& job);
+  void finish_job(JobState& job);  // post-run verify + counter sweep
+
+  TenantFabricSpec spec_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<net::NicId> machine_nics_;
+  innet::SlotPool slot_pool_;
+  std::vector<std::unique_ptr<JobState>> jobs_;
+  bool ran_ = false;
+};
+
+}  // namespace omr::core

@@ -1,0 +1,50 @@
+#include "core/wiring.h"
+
+#include "core/faults.h"
+
+namespace omr::core {
+
+ProtocolWiring wire_protocol(const Config& cfg, net::Network& net,
+                             const std::vector<net::NicId>& worker_nics,
+                             const std::vector<net::NicId>& agg_nics,
+                             const WiringOptions& opts) {
+  const std::size_t n_workers = worker_nics.size();
+  ProtocolWiring w;
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    w.workers.push_back(std::make_unique<Worker>(
+        cfg, net, static_cast<std::uint32_t>(i)));
+    w.workers.back()->set_tracer(opts.tracer);
+    w.workers.back()->set_faults(opts.faults);
+    w.worker_eps.push_back(net.attach(w.workers.back().get(),
+                                      worker_nics[i]));
+  }
+  for (std::size_t a = 0; a < agg_nics.size(); ++a) {
+    w.aggregators.push_back(
+        std::make_unique<Aggregator>(cfg, net, n_workers));
+    w.aggregators.back()->set_tracer(opts.tracer,
+                                     telemetry::aggregator_pid(a));
+    w.aggregators.back()->set_faults(opts.faults, a);
+    w.agg_eps.push_back(net.attach(w.aggregators.back().get(), agg_nics[a]));
+    w.aggregators.back()->bind(w.agg_eps.back(), w.worker_eps);
+    if (opts.faults != nullptr) {
+      opts.faults->register_aggregator(w.agg_eps.back(), a);
+    }
+  }
+  return w;
+}
+
+std::vector<net::EndpointId> shard_streams(
+    const StreamLayout& layout,
+    std::vector<std::unique_ptr<Aggregator>>& aggregators,
+    const std::vector<net::EndpointId>& agg_eps) {
+  std::vector<net::EndpointId> agg_of_stream(layout.streams.size());
+  for (std::size_t s = 0; s < layout.streams.size(); ++s) {
+    const std::size_t a = s % aggregators.size();
+    agg_of_stream[s] = agg_eps[a];
+    aggregators[a]->add_stream(static_cast<std::uint32_t>(s),
+                               layout.streams[s]);
+  }
+  return agg_of_stream;
+}
+
+}  // namespace omr::core

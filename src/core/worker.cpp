@@ -78,6 +78,7 @@ void Worker::start(tensor::DenseTensor& tensor, const StreamLayout& layout,
   if (states_.empty()) {
     // Degenerate empty tensor: nothing to do.
     finish_time_ = start_time_;
+    if (on_done_) on_done_(*this);
   }
 }
 
@@ -364,6 +365,7 @@ void Worker::send_initial(std::size_t stream) {
   auto pkt = acquire_packet();
   pkt->stream = static_cast<std::uint32_t>(stream);
   pkt->ver = 0;
+  pkt->epoch = member_epoch_;
   pkt->wid = wid_;
   pkt->header_bytes = cfg_.header_bytes;
   pkt->per_block_meta_bytes = cfg_.per_block_meta_bytes;
@@ -395,6 +397,12 @@ void Worker::on_message(net::EndpointId /*from*/, const net::MessagePtr& msg) {
   const auto* result = dynamic_cast<const ResultPacket*>(msg.get());
   if (result == nullptr) {
     throw std::logic_error("worker received non-result message");
+  }
+  if (result->epoch != member_epoch_) {
+    // Straggler of a previous membership epoch (its stream id may not even
+    // exist in the current step's layout) — drop before any state lookup.
+    ++stale_results_;
+    return;
   }
   handle_result(*result);
 }
@@ -452,6 +460,7 @@ void Worker::handle_result(const ResultPacket& r) {
   auto pkt = acquire_packet();
   pkt->stream = r.stream;
   pkt->ver = static_cast<std::uint8_t>((r.ver + 1) & 1);
+  pkt->epoch = member_epoch_;
   pkt->wid = wid_;
   pkt->header_bytes = cfg_.header_bytes;
   pkt->per_block_meta_bytes = cfg_.per_block_meta_bytes;
@@ -586,6 +595,7 @@ void Worker::note_stream_done(std::size_t stream) {
     // codec_tail_: the last result still had to be decoded (0 when the
     // codec is disabled, keeping this byte-identical to the seed).
     finish_time_ = std::max(sim().now() + codec_tail_, staging);
+    if (on_done_) on_done_(*this);
   }
 }
 

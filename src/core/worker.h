@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/config.h"
@@ -40,6 +41,21 @@ class Worker final : public net::Endpoint {
   /// escalation and crash/restart with resync.
   void set_faults(FaultController* faults) { faults_ = faults; }
 
+  /// Completion hook, fired (in virtual time) the moment done() flips true
+  /// — once per start(). The multi-tenant Fabric's worker agents use it to
+  /// report per-step completion to their job controller; null (the
+  /// default) costs nothing and keeps single-job runs byte-identical.
+  void set_on_done(std::function<void(Worker&)> hook) {
+    on_done_ = std::move(hook);
+  }
+
+  /// Membership epoch of the next collective (multi-step elastic runs):
+  /// outgoing packets are stamped with it and results of a different epoch
+  /// are dropped (counted by stale_results()) instead of misread as the
+  /// current step's traffic. Call before start(); the default 0 matches
+  /// every single-collective run byte-identically.
+  void set_epoch(std::uint8_t epoch) { member_epoch_ = epoch; }
+
   /// Fault injection: kill the worker now. All protocol state and timers
   /// for unfinished streams are discarded; in-flight messages addressed to
   /// the worker are dropped on arrival. The tensor (device memory) and
@@ -74,6 +90,8 @@ class Worker final : public net::Endpoint {
   /// Fault-layer counters (cumulative over the worker's lifetime).
   std::uint64_t crashes() const { return crashes_; }
   std::uint64_t resyncs_sent() const { return resyncs_sent_; }
+  /// Results dropped for carrying a stale membership epoch (cumulative).
+  std::uint64_t stale_results() const { return stale_results_; }
   /// Total injected straggler compute delay (ns of virtual time).
   sim::Time fault_stall() const { return fault_stall_ns_; }
 
@@ -147,12 +165,15 @@ class Worker final : public net::Endpoint {
   std::vector<net::EndpointId> agg_of_stream_;
   telemetry::Tracer* tracer_ = nullptr;
   FaultController* faults_ = nullptr;
+  std::function<void(Worker&)> on_done_;
   std::size_t in_flight_slots_ = 0;
   bool alive_ = true;
   bool start_pending_ = false;  // crashed before start(); replay on restart
   std::uint64_t epoch_ = 0;     // bumped per crash; voids deferred sends
   std::uint64_t crashes_ = 0;
   std::uint64_t resyncs_sent_ = 0;
+  std::uint8_t member_epoch_ = 0;  // membership epoch stamped on packets
+  std::uint64_t stale_results_ = 0;
   sim::Time fault_stall_ns_ = 0;
 
   tensor::DenseTensor* tensor_ = nullptr;

@@ -1,5 +1,11 @@
 #include "innet/p4_aggregator.h"
 
+#include <stdexcept>
+#include <string>
+
+#include "core/stream_layout.h"
+#include "innet/slot_pool.h"
+
 namespace omr::innet {
 
 core::RunStats run_allreduce_innet(std::vector<tensor::DenseTensor>& tensors,
@@ -13,6 +19,20 @@ core::RunStats run_allreduce_innet(std::vector<tensor::DenseTensor>& tensors,
   engine_cfg.fixed_point = true;
   engine_cfg.fixed_point_scale = cfg.fixed_point_scale;
   engine_cfg.charge_bitmap_cost = true;
+
+  if (cfg.switch_slots > 0 && !tensors.empty()) {
+    // One pipeline register slot per stream: reject the run up front when
+    // the job's slot demand exceeds what the switch can dedicate to it.
+    const std::size_t demand =
+        core::StreamLayout::build(tensors.front().size(), engine_cfg)
+            .streams.size();
+    SlotPool pool(cfg.switch_slots);
+    if (!pool.reserve(/*job=*/0, demand)) {
+      throw std::runtime_error(
+          "switch slot pool exhausted: need " + std::to_string(demand) +
+          " slots, switch has " + std::to_string(cfg.switch_slots));
+    }
+  }
 
   core::FabricConfig fabric;
   fabric.worker_bandwidth_bps = cfg.worker_bandwidth_bps;

@@ -33,6 +33,11 @@ struct P4Config {
   std::size_t n_racks = 1;
   /// Spine oversubscription ratio (>= 1); only meaningful with n_racks > 1.
   double oversubscription = 1.0;
+  /// Register slots the switch pipeline can dedicate to this job (0 =
+  /// unlimited). The ASIC's SRAM is finite and shared — the multi-tenant
+  /// Fabric partitions one pool across jobs; a single run is rejected
+  /// up front (std::runtime_error) when its stream count cannot fit.
+  std::size_t switch_slots = 0;
 };
 
 /// Run one AllReduce through the in-network aggregator. Tensors are reduced

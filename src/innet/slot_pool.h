@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace omr::innet {
+
+/// Partitioned switch-slot pool. A programmable switch has a fixed number
+/// of aggregation slots (register-array rows); a multi-tenant fabric
+/// carves them into disjoint per-job reservations, and a job whose slot
+/// demand exceeds the remaining pool is rejected at admission instead of
+/// silently sharing state — the partitioning discipline of per-job
+/// aggregator resources on one switch (see PAPERS.md: programmable-switch
+/// multi-job training). Pure bookkeeping, no simulation state.
+class SlotPool {
+ public:
+  /// `total` = 0 disables admission control (infinite pool).
+  explicit SlotPool(std::size_t total = 0) : total_(total) {}
+
+  std::size_t total() const { return total_; }
+  std::size_t used() const { return used_; }
+  std::size_t available() const {
+    return total_ == 0 ? static_cast<std::size_t>(-1) : total_ - used_;
+  }
+  bool unlimited() const { return total_ == 0; }
+
+  /// Try to reserve `slots` for `job`. Returns false (and reserves
+  /// nothing) when the pool cannot fit them; a zero-slot request always
+  /// succeeds. One reservation per job: re-reserving first releases.
+  bool reserve(int job, std::size_t slots) {
+    release(job);
+    if (total_ != 0 && slots > total_ - used_) return false;
+    if (slots > 0) {
+      by_job_[job] = slots;
+      used_ += slots;
+    }
+    return true;
+  }
+
+  /// Return a job's reservation to the pool (no-op when it has none).
+  void release(int job) {
+    auto it = by_job_.find(job);
+    if (it == by_job_.end()) return;
+    if (it->second > used_) throw std::logic_error("slot pool underflow");
+    used_ -= it->second;
+    by_job_.erase(it);
+  }
+
+  std::size_t reserved(int job) const {
+    auto it = by_job_.find(job);
+    return it == by_job_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::size_t total_;
+  std::size_t used_ = 0;
+  std::unordered_map<int, std::size_t> by_job_;
+};
+
+}  // namespace omr::innet

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace omr::net {
@@ -82,21 +85,89 @@ EndpointId Network::attach(Endpoint* endpoint, NicId nic) {
     throw std::out_of_range("unknown NIC");
   }
   endpoints_.push_back(Attached{endpoint, nic});
+  tenant_of_.push_back(0);
   return static_cast<EndpointId>(endpoints_.size() - 1);
 }
 
-void Network::add_external_traffic(NicId nic, std::uint64_t tx_bytes,
-                                   std::uint64_t rx_bytes,
-                                   std::uint64_t tx_messages,
-                                   std::uint64_t rx_messages) {
+void Network::set_tenants(std::vector<double> weights) {
+  for (double w : weights) {
+    if (w <= 0.0) throw std::invalid_argument("tenant weight must be > 0");
+  }
+  tenant_weights_ = std::move(weights);
+  if (tenant_external_.size() < std::max<std::size_t>(1, n_tenants())) {
+    tenant_external_.resize(std::max<std::size_t>(1, n_tenants()));
+  }
+}
+
+void Network::set_endpoint_tenant(EndpointId ep, int tenant) {
+  if (ep < 0 || ep >= static_cast<EndpointId>(endpoints_.size())) {
+    throw std::out_of_range("unknown endpoint");
+  }
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= n_tenants()) {
+    throw std::out_of_range("unknown tenant");
+  }
+  tenant_of_[static_cast<std::size_t>(ep)] = tenant;
+}
+
+const LinkStats& Network::tenant_link_stats(LinkId id, int tenant) const {
+  // Lazily-sized rows: a link the tenant never crossed in WFQ mode (or any
+  // link in single-tenant mode) has no per-tenant row — report zeroes.
+  static const LinkStats kZero{};
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= n_tenants()) {
+    throw std::out_of_range("unknown tenant");
+  }
+  const Link& link = topo_->link(id);
+  const auto t = static_cast<std::size_t>(tenant);
+  return t < link.tenant_stats.size() ? link.tenant_stats[t] : kZero;
+}
+
+void Network::add_tenant_traffic(int tenant, NicId nic, std::uint64_t tx_bytes,
+                                 std::uint64_t rx_bytes,
+                                 std::uint64_t tx_messages,
+                                 std::uint64_t rx_messages) {
   if (nic < 0 || nic >= static_cast<NicId>(nics_.size())) {
     throw std::out_of_range("unknown NIC");
+  }
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= n_tenants()) {
+    throw std::out_of_range("unknown tenant");
   }
   NicStats& s = nics_[nic].stats;
   s.tx_bytes += tx_bytes;
   s.rx_bytes += rx_bytes;
   s.tx_messages += tx_messages;
   s.rx_messages += rx_messages;
+  if (tenant_external_.size() <= static_cast<std::size_t>(tenant)) {
+    tenant_external_.resize(static_cast<std::size_t>(tenant) + 1);
+  }
+  NicStats& e = tenant_external_[static_cast<std::size_t>(tenant)];
+  e.tx_bytes += tx_bytes;
+  e.rx_bytes += rx_bytes;
+  e.tx_messages += tx_messages;
+  e.rx_messages += rx_messages;
+}
+
+const NicStats& Network::tenant_external(int tenant) const {
+  static const NicStats kZero{};
+  if (tenant < 0 || static_cast<std::size_t>(tenant) >= n_tenants()) {
+    throw std::out_of_range("unknown tenant");
+  }
+  return static_cast<std::size_t>(tenant) < tenant_external_.size()
+             ? tenant_external_[static_cast<std::size_t>(tenant)]
+             : kZero;
+}
+
+void Network::add_external_traffic(NicId nic, std::uint64_t tx_bytes,
+                                   std::uint64_t rx_bytes,
+                                   std::uint64_t tx_messages,
+                                   std::uint64_t rx_messages) {
+  static std::once_flag warned;
+  std::call_once(warned, [] {
+    std::fprintf(stderr,
+                 "omnireduce: Network::add_external_traffic is deprecated; "
+                 "use add_tenant_traffic(tenant, ...) to attribute external "
+                 "traffic to a tenant\n");
+  });
+  add_tenant_traffic(0, nic, tx_bytes, rx_bytes, tx_messages, rx_messages);
 }
 
 void Network::add_nic_flap(NicId nic, sim::Time from, sim::Time until) {
@@ -130,35 +201,122 @@ sim::Time Network::tx_serialize(NicId nic_id, std::size_t bytes,
 
 sim::Time Network::traverse_path(NicId src_nic, NicId dst_nic,
                                  sim::Time departure, std::size_t bytes,
-                                 std::size_t payload_bytes) {
+                                 std::size_t payload_bytes, int tenant) {
   if (latency_ >= 0) return departure + latency_;  // ideal switch
+  const bool weighted = tenant_weights_.size() > 1;
   const Path& path = topo_->route(src_nic, dst_nic);
   sim::Time t = departure + path.ingress_latency;
   for (LinkId id : path.links) {
     Link& link = topo_->link(id);
+    if (weighted && link.tenant_busy.size() < tenant_weights_.size()) {
+      link.tenant_busy.resize(tenant_weights_.size(), 0);
+      link.tenant_gate.resize(tenant_weights_.size(), 0);
+      link.tenant_stats.resize(tenant_weights_.size());
+    }
     if (!link.down.empty() && link.is_down(t)) {
       // Flapping link (fault injection): the outage eats the message
       // before any loss draw, so a flap never perturbs the seeded loss
       // process sequence of messages outside its window.
       link.stats.dropped_messages += 1;
+      if (weighted) {
+        link.tenant_stats[static_cast<std::size_t>(tenant)]
+            .dropped_messages += 1;
+      }
       ++total_dropped_;
       if (tracer_ != nullptr) tracer_->link_drop(id, t, bytes);
       return -1;
     }
     if (!link.loss.lossless() && link.loss.drop(link.loss_rng)) {
       link.stats.dropped_messages += 1;
+      if (weighted) {
+        link.tenant_stats[static_cast<std::size_t>(tenant)]
+            .dropped_messages += 1;
+      }
       ++total_dropped_;
       if (tracer_ != nullptr) tracer_->link_drop(id, t, bytes);
       return -1;
     }
-    // Store-and-forward: the hop's port serializes the whole message
-    // (FIFO), then propagation to the next hop.
-    const sim::Time start = std::max(t, link.busy_until);
-    const sim::Time cost = sim::from_seconds(
-        static_cast<double>(bytes) * 8.0 / link.cfg.bandwidth_bps);
-    link.busy_until = start + cost;
+    sim::Time start;
+    if (weighted) {
+      // Piecewise weighted-fair fluid approximation. The message is served
+      // at bandwidth * w_ti / W, where W sums the weights of the tenants
+      // with booked service (tenant_busy) overlapping the current instant;
+      // each time another tenant's backlog drains the rate is recomputed,
+      // so a message that only partially overlaps a competing burst pays
+      // the shared rate only for the overlap. Idle tenants donate their
+      // share: an uncontended link runs at full rate, a saturated one
+      // converges to the weight ratios.
+      const auto ti = static_cast<std::size_t>(tenant);
+      start = std::max(t, link.tenant_gate[ti]);
+      double overlap_weight = 0.0;
+      for (std::size_t u = 0; u < tenant_weights_.size(); ++u) {
+        if (u != ti && link.tenant_busy[u] > start) {
+          overlap_weight += tenant_weights_[u];
+        }
+      }
+      double remaining_bits = static_cast<double>(bytes) * 8.0;
+      sim::Time cur = start;
+      while (remaining_bits > 0.0) {
+        double active_weight = tenant_weights_[ti];
+        sim::Time horizon = -1;
+        for (std::size_t u = 0; u < tenant_weights_.size(); ++u) {
+          if (u == ti || link.tenant_busy[u] <= cur) continue;
+          active_weight += tenant_weights_[u];
+          if (horizon < 0 || link.tenant_busy[u] < horizon) {
+            horizon = link.tenant_busy[u];
+          }
+        }
+        const double rate =
+            link.cfg.bandwidth_bps * tenant_weights_[ti] / active_weight;
+        const double seg_bits =
+            horizon < 0 ? remaining_bits
+                        : sim::to_seconds(horizon - cur) * rate;
+        if (horizon < 0 || seg_bits >= remaining_bits) {
+          cur += sim::from_seconds(remaining_bits / rate);
+          remaining_bits = 0.0;
+        } else {
+          remaining_bits -= seg_bits;
+          cur = horizon;  // that tenant drained: recompute the active set
+        }
+      }
+      link.tenant_busy[ti] = cur;
+      link.tenant_gate[ti] = std::max(link.tenant_gate[ti], cur);
+      if (overlap_weight > 0.0) {
+        // Capacity conservation across the single pass: the backlogged
+        // tenants this message overlaps were priced before it existed, so
+        // their service must stretch by the capacity it consumes — the
+        // message's full-rate wire time, split across them in weight
+        // proportion. The stretch lands on their *gates* (delaying their
+        // own next message) rather than their booked service, so it never
+        // becomes phantom backlog that third parties price against.
+        const double wire_s =
+            static_cast<double>(bytes) * 8.0 / link.cfg.bandwidth_bps;
+        for (std::size_t u = 0; u < tenant_weights_.size(); ++u) {
+          if (u != ti && link.tenant_busy[u] > start) {
+            link.tenant_gate[u] += sim::from_seconds(
+                wire_s * tenant_weights_[u] / overlap_weight);
+          }
+        }
+      }
+      link.busy_until = std::max(link.busy_until, cur);
+      link.tenant_stats[ti].tx_bytes += bytes;
+      link.tenant_stats[ti].tx_messages += 1;
+    } else {
+      // Store-and-forward: the hop's port serializes the whole message
+      // (FIFO), then propagation to the next hop.
+      start = std::max(t, link.busy_until);
+      const sim::Time cost = sim::from_seconds(
+          static_cast<double>(bytes) * 8.0 / link.cfg.bandwidth_bps);
+      link.busy_until = start + cost;
+    }
     link.stats.tx_bytes += bytes;
     link.stats.tx_messages += 1;
+    // The message's own serialization finish: its tenant cursor in
+    // weighted mode (busy_until only tracks the link-wide frontier there),
+    // the shared FIFO cursor otherwise.
+    const sim::Time done =
+        weighted ? link.tenant_busy[static_cast<std::size_t>(tenant)]
+                 : link.busy_until;
     if (tracer_ != nullptr) {
       const auto lane = static_cast<std::size_t>(id);
       if (lane >= link_lane_named_.size()) link_lane_named_.resize(lane + 1);
@@ -167,9 +325,9 @@ sim::Time Network::traverse_path(NicId src_nic, NicId dst_nic,
         tracer_->name_process(telemetry::link_pid(lane),
                               "link " + link.cfg.name);
       }
-      tracer_->link_tx(id, start, link.busy_until, bytes, payload_bytes);
+      tracer_->link_tx(id, start, done, bytes, payload_bytes);
     }
-    t = link.busy_until + link.cfg.latency;
+    t = done + link.cfg.latency;
   }
   return t;
 }
@@ -191,9 +349,9 @@ void Network::deliver(EndpointId src, EndpointId dst, MessagePtr msg,
     }
     return;
   }
-  const sim::Time arrival = traverse_path(endpoints_[src].nic,
-                                          endpoints_[dst].nic, departure,
-                                          bytes, payload_bytes);
+  const sim::Time arrival = traverse_path(
+      endpoints_[src].nic, endpoints_[dst].nic, departure, bytes,
+      payload_bytes, endpoint_tenant(src));
   if (arrival < 0) {  // eaten by a link's loss process
     if (trace_ != nullptr) {
       trace_->push_back({departure, 0, src, dst,

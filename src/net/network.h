@@ -158,11 +158,50 @@ class Network {
   telemetry::Tracer* tracer() const { return tracer_; }
 
   const NicStats& nic_stats(NicId nic) const { return nics_[nic].stats; }
+
+  // --- tenancy (weighted-fair link sharing) -------------------------------
+  //
+  // A tenant is one traffic class sharing the fabric — typically one Job of
+  // a multi-tenant core::Fabric. With >= 2 tenants registered, contended
+  // interior links switch from a single FIFO cursor to per-tenant virtual
+  // cursors: a message of tenant t serializes at bandwidth * w_t / W where
+  // W sums the weights of tenants backlogged on the link at its start time
+  // (a GPS/WFQ fluid approximation judged per message). Per-pair FIFO
+  // ordering is preserved — one sender's messages share one tenant cursor.
+  // With <= 1 tenant the legacy FIFO path runs byte-identically.
+
+  /// Register the tenant weight table (index = tenant id, weights > 0).
+  /// Call before traffic; one entry (or never calling) keeps the
+  /// single-tenant fast path.
+  void set_tenants(std::vector<double> weights);
+  std::size_t n_tenants() const {
+    return tenant_weights_.empty() ? 1 : tenant_weights_.size();
+  }
+  /// Assign an endpoint's traffic to a tenant (default: tenant 0).
+  void set_endpoint_tenant(EndpointId ep, int tenant);
+  int endpoint_tenant(EndpointId ep) const {
+    const auto i = static_cast<std::size_t>(ep);
+    return i < tenant_of_.size() ? tenant_of_[i] : 0;
+  }
+  /// Per-tenant counters of one interior link (zeroes when the tenant
+  /// never crossed it).
+  const LinkStats& tenant_link_stats(LinkId id, int tenant) const;
   /// Account traffic that bypassed the simulated fabric (e.g. an analytic
   /// model charging bytes without scheduling messages) into a NIC's
-  /// counters. This is the only sanctioned way to adjust NicStats from
-  /// outside: fabric-owned counters (links, drops) stay consistent because
-  /// external traffic never traverses them.
+  /// counters, attributed to `tenant`. This is the only sanctioned way to
+  /// adjust NicStats from outside: fabric-owned counters (links, drops)
+  /// stay consistent because external traffic never traverses them.
+  void add_tenant_traffic(int tenant, NicId nic, std::uint64_t tx_bytes,
+                          std::uint64_t rx_bytes,
+                          std::uint64_t tx_messages = 0,
+                          std::uint64_t rx_messages = 0);
+  /// External-traffic ledger of one tenant (what add_tenant_traffic
+  /// accumulated), independent of the per-NIC totals.
+  const NicStats& tenant_external(int tenant) const;
+
+  /// Deprecated: legacy un-attributed external-traffic hook. Forwards to
+  /// add_tenant_traffic(0, ...) — the degenerate single-link tenant — and
+  /// warns once per process on stderr.
   void add_external_traffic(NicId nic, std::uint64_t tx_bytes,
                             std::uint64_t rx_bytes,
                             std::uint64_t tx_messages = 0,
@@ -264,7 +303,8 @@ class Network {
   /// propagation. Returns the fabric-exit time, or -1 when a link dropped
   /// the message (already accounted).
   sim::Time traverse_path(NicId src_nic, NicId dst_nic, sim::Time departure,
-                          std::size_t bytes, std::size_t payload_bytes);
+                          std::size_t bytes, std::size_t payload_bytes,
+                          int tenant);
   /// Schedule arrival/RX/delivery of a message departing at `departure`.
   /// `bytes`/`payload_bytes` are msg's sizes, computed once by the caller
   /// (multicast delivers the same message to many destinations).
@@ -302,6 +342,12 @@ class Network {
   std::vector<bool> link_lane_named_;  // tracer lane names, set lazily
   std::vector<Nic> nics_;
   std::vector<Attached> endpoints_;
+  /// Tenancy: empty weights = single-tenant fast path. tenant_of_ is
+  /// indexed by EndpointId (grown on attach, default tenant 0);
+  /// tenant_external_ ledgers add_tenant_traffic per tenant.
+  std::vector<double> tenant_weights_;
+  std::vector<int> tenant_of_;
+  std::vector<NicStats> tenant_external_;
   /// Birth ranks of committed deliveries start here; pre-run start events
   /// use ranks below it (the engine passes the worker index). Start/commit
   /// rank collisions are already broken by birth_time (-1 for starts).

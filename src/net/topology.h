@@ -112,6 +112,16 @@ struct Link {
   sim::Rng loss_rng{0};       // reseeded by Network at bind time
   sim::Time busy_until = 0;   // FIFO serialization cursor
   LinkStats stats;
+  /// Weighted-fair mode (Network::set_tenants with >= 2 tenants): per
+  /// tenant, the end of its booked service (`tenant_busy`, the backlog
+  /// other tenants price against), the earliest start of its next message
+  /// (`tenant_gate`, its own service end plus capacity pushed onto it by
+  /// overlapping tenants), and one counter row. Sized lazily on first
+  /// contended use; empty in single-tenant runs, keeping the legacy FIFO
+  /// path byte-identical.
+  std::vector<sim::Time> tenant_busy;
+  std::vector<sim::Time> tenant_gate;
+  std::vector<LinkStats> tenant_stats;
   /// Scheduled outage windows [from, until): the link drops every message
   /// reaching it inside one (fault injection; empty = always up).
   std::vector<std::pair<sim::Time, sim::Time>> down;
@@ -195,8 +205,8 @@ class Topology {
 
  protected:
   LinkId add_link(LinkConfig cfg, LossProcess loss = {}) {
-    links_.push_back(
-        Link{std::move(cfg), loss, link_rng(links_.size()), 0, {}, {}});
+    links_.push_back(Link{std::move(cfg), loss, link_rng(links_.size()), 0,
+                          {}, {}, {}, {}, {}});
     return static_cast<LinkId>(links_.size() - 1);
   }
 

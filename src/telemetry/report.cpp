@@ -173,4 +173,49 @@ void write_report_array(const std::vector<RunReport>& reports,
   os << "\n]}\n";
 }
 
+void FabricReport::write_json(std::ostream& os) const {
+  os << "{\"schema\":\"omnireduce.fabric_report.v1\",\"topology\":\"";
+  write_escaped(os, topology);
+  os << "\",\"n_machines\":" << n_machines
+     << ",\"switch_slots\":" << switch_slots
+     << ",\"fairness_index\":" << fairness_index << ",\"jobs\":[";
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const FabricJobSummary& job = jobs[j];
+    if (j > 0) os << ",";
+    os << "{\"name\":\"";
+    write_escaped(os, job.name);
+    os << "\",\"admitted\":" << (job.admitted ? "true" : "false");
+    if (!job.rejection.empty()) {
+      os << ",\"rejection\":\"";
+      write_escaped(os, job.rejection);
+      os << "\"";
+    }
+    os << ",\"weight\":" << job.weight << ",\"start_at_ns\":" << job.start_at
+       << ",\"finish_ns\":" << job.finish << ",\"steps\":" << job.steps
+       << ",\"data_bytes\":" << job.data_bytes << ",\"rounds\":" << job.rounds
+       << ",\"retransmissions\":" << job.retransmissions
+       << ",\"resyncs\":" << job.resyncs
+       << ",\"stale_drops\":" << job.stale_drops
+       << ",\"verified\":" << (job.verified ? "true" : "false")
+       << ",\"step_completion_ns\":";
+    write_array(os, job.step_completion);
+    os << ",\"step_active\":";
+    write_array(os, job.step_active);
+    os << "}";
+  }
+  os << "],\"link_shares\":[";
+  for (std::size_t i = 0; i < link_shares.size(); ++i) {
+    const TenantLinkShare& s = link_shares[i];
+    if (i > 0) os << ",";
+    os << "{\"link\":\"";
+    write_escaped(os, s.link);
+    os << "\",\"job\":\"";
+    write_escaped(os, s.job);
+    os << "\",\"tx_bytes\":" << s.tx_bytes
+       << ",\"tx_messages\":" << s.tx_messages
+       << ",\"dropped_messages\":" << s.dropped_messages << "}";
+  }
+  os << "]}";
+}
+
 }  // namespace omr::telemetry

@@ -129,4 +129,51 @@ struct RunReport {
 void write_report_array(const std::vector<RunReport>& reports,
                         std::ostream& os);
 
+/// Per-(link, job) traffic share on a weighted-fair fabric link: how many
+/// bytes/messages of one tenant crossed one contended interior link.
+struct TenantLinkShare {
+  std::string link;
+  std::string job;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_messages = 0;
+  std::uint64_t dropped_messages = 0;
+};
+
+/// One job's outcome inside a multi-tenant core::Fabric run.
+struct FabricJobSummary {
+  std::string name;
+  bool admitted = true;
+  std::string rejection;  // non-empty when admission failed
+  double weight = 1.0;
+  sim::Time start_at = 0;
+  sim::Time finish = 0;  // virtual time the last step completed
+  std::size_t steps = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t resyncs = 0;      // join catch-up handshakes
+  std::uint64_t stale_drops = 0;  // cross-epoch stragglers dropped
+  bool verified = false;
+  /// Virtual completion time of each step (absolute) and how many workers
+  /// were active in it (elastic membership).
+  std::vector<sim::Time> step_completion;
+  std::vector<std::size_t> step_active;
+};
+
+/// Fabric-level interference report of one multi-tenant run: per-job
+/// summaries plus the per-tenant split of every contended link and a Jain
+/// fairness index over weight-normalized bytes on the busiest shared link
+/// (1.0 = perfectly weighted-fair). Serialized by write_json as
+/// `omnireduce.fabric_report.v1`.
+struct FabricReport {
+  std::string topology;
+  std::size_t n_machines = 0;
+  std::size_t switch_slots = 0;
+  std::vector<FabricJobSummary> jobs;
+  std::vector<TenantLinkShare> link_shares;
+  double fairness_index = 0.0;
+
+  void write_json(std::ostream& os) const;
+};
+
 }  // namespace omr::telemetry

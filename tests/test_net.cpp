@@ -236,19 +236,34 @@ TEST(Network, TraceRecordsDeliveriesAndDrops) {
   EXPECT_NEAR(static_cast<double>(dropped) / n, 0.5, 0.05);
 }
 
-TEST(Network, AddExternalTrafficAccumulates) {
+TEST(Network, AddTenantTrafficAccumulates) {
   Fixture f;
   auto [a, ra] = f.make_node();
   (void)ra;
   const NicId nic = f.net.nic_of(a);
-  f.net.add_external_traffic(nic, 1000, 500, 3, 2);
-  f.net.add_external_traffic(nic, 10, 20);
+  f.net.add_tenant_traffic(0, nic, 1000, 500, 3, 2);
+  f.net.add_tenant_traffic(0, nic, 10, 20);
   const NicStats& s = f.net.nic_stats(nic);
   EXPECT_EQ(s.tx_bytes, 1010u);
   EXPECT_EQ(s.rx_bytes, 520u);
   EXPECT_EQ(s.tx_messages, 3u);
   EXPECT_EQ(s.rx_messages, 2u);
-  EXPECT_THROW(f.net.add_external_traffic(99, 1, 1), std::out_of_range);
+  // The per-tenant external ledger tracks independently of NIC totals.
+  const NicStats& ext = f.net.tenant_external(0);
+  EXPECT_EQ(ext.tx_bytes, 1010u);
+  EXPECT_EQ(ext.rx_bytes, 520u);
+  EXPECT_THROW(f.net.add_tenant_traffic(0, 99, 1, 1), std::out_of_range);
+  EXPECT_THROW(f.net.add_tenant_traffic(7, nic, 1, 1), std::out_of_range);
+}
+
+TEST(Network, DeprecatedExternalTrafficForwardsToTenantZero) {
+  Fixture f;
+  auto [a, ra] = f.make_node();
+  (void)ra;
+  const NicId nic = f.net.nic_of(a);
+  f.net.add_external_traffic(nic, 40, 60, 1, 1);  // warns once, still works
+  EXPECT_EQ(f.net.nic_stats(nic).tx_bytes, 40u);
+  EXPECT_EQ(f.net.tenant_external(0).rx_bytes, 60u);
 }
 
 TEST(Network, SwitchMulticastIndependentDropsUnderLoss) {

@@ -95,6 +95,16 @@ def main() -> int:
     if not args.skip_build:
         build(build_dir, benches)
 
+    # On a single-CPU host a "parallel" sweep cannot run concurrently:
+    # wall-clock ratios measure scheduler noise plus synchronization
+    # overhead, not speedup. Keep the correctness byte-compare but skip
+    # the speedup numbers and stamp the reason into the report.
+    host_cpus = os.cpu_count() or 1
+    single_cpu = host_cpus <= 1
+    if single_cpu:
+        print("host has 1 CPU: recording correctness only, "
+              "skipping wall-clock speedups")
+
     results = []
     identical = True
     for name in benches:
@@ -114,22 +124,33 @@ def main() -> int:
             "jobs": args.jobs,
             "serial_s": round(serial_s, 3),
             "parallel_s": round(parallel_s, 3),
-            "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
             "outputs_identical": same,
         }
+        if single_cpu:
+            entry["speedup"] = None
+        else:
+            entry["speedup"] = (round(serial_s / parallel_s, 2)
+                                if parallel_s else 0.0)
         results.append(entry)
+        speedup_txt = ("speedup   n/a" if single_cpu
+                       else f"speedup {entry['speedup']:5.2f}")
         print(f"{name:34s} serial {serial_s:7.2f}s  "
               f"x{args.jobs} {parallel_s:7.2f}s  "
-              f"speedup {entry['speedup']:5.2f}  "
+              f"{speedup_txt}  "
               f"{'identical' if same else 'OUTPUT MISMATCH'}")
 
     doc = {
         "schema": "omnireduce.bench_parallel.v2",
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus,
         "sim_threads": args.sim_threads,
         "omr_mb": args.mb,
         "results": results,
     }
+    if single_cpu:
+        doc["speedup_skip_reason"] = (
+            "host_cpus == 1: wall-clock speedup not recorded (a single "
+            "CPU serializes the parallel path, so the ratio measures "
+            "synchronization overhead, not speedup)")
     out_path = args.out
     if not os.path.isabs(out_path):
         out_path = os.path.join(REPO, out_path)
