@@ -1,0 +1,200 @@
+// Serving tail-latency matrix: p50/p99/p999 embedding-lookup and update
+// latency over shards x cache capacity x spine oversubscription, each cell
+// with and without a co-tenant training job on the same fabric.
+//
+// Eleven machines, two racks: four serving clients in rack 0, up to four
+// PS shards in rack 1 (every request and response crosses the spine), and
+// a 2-worker trainer straddling the racks (workers in rack 0, aggregator
+// in rack 1) so its gradient traffic contends with serving on both spine
+// directions. Traffic is the recommendation-serving shape: Zipf(0.9) keys
+// over a DeepLight-scale embedding space, 5% update writes.
+//
+// Usage:
+//   bench_fig_serving [--smoke] [--out <path>]
+//
+// --out writes a self-contained omnireduce.bench_serving.v1 JSON document
+// (cells aggregate whole-fabric runs, so the bench emits its own schema
+// like bench_fig_tenancy).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/tenancy.h"
+#include "serve/serving.h"
+#include "sim/rng.h"
+#include "tensor/generators.h"
+
+using namespace omr;
+
+namespace {
+
+struct Cell {
+  std::size_t shards = 0;
+  std::size_t cache = 0;
+  double oversub = 1.0;
+  bool trainer = false;
+  double hit_rate = 0.0;
+  double qps = 0.0;
+  double finish_ns = 0.0;
+  double trainer_finish_ns = 0.0;
+  double lookup_p50 = 0.0, lookup_p99 = 0.0, lookup_p999 = 0.0;
+  double update_p50 = 0.0, update_p99 = 0.0, update_p999 = 0.0;
+};
+
+core::Fabric::StepTensors make_trainer_tensors(std::size_t elements,
+                                               std::uint64_t seed) {
+  sim::Rng rng(seed);
+  core::Fabric::StepTensors out(2);
+  for (auto& step : out) {
+    for (std::size_t w = 0; w < 2; ++w) {
+      step.push_back(tensor::make_block_sparse(elements, 256, 0.5, rng));
+    }
+  }
+  return out;
+}
+
+Cell run_cell(std::size_t n_shards, std::size_t cache, double oversub,
+              bool trainer, bool smoke) {
+  Cell cell;
+  cell.shards = n_shards;
+  cell.cache = cache;
+  cell.oversub = oversub;
+  cell.trainer = trainer;
+
+  core::TenantFabricSpec fspec;
+  fspec.n_machines = 11;
+  fspec.topology = core::TopologySpec::two_tier_racks(2, oversub);
+  // Clients and the trainer's workers in rack 0; shards and the trainer's
+  // aggregator in rack 1: serving requests share the rack-0 uplink with
+  // gradient pushes, responses share the rack-1 uplink with results.
+  fspec.machine_racks = {0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 1};
+
+  core::ServeSpec sspec;
+  sspec.n_shards = n_shards;
+  sspec.n_clients = 4;
+  sspec.key_space = std::size_t{1} << (smoke ? 17 : 20);
+  sspec.zipf_alpha = 0.9;
+  sspec.update_fraction = 0.05;
+  sspec.requests_per_client = smoke ? 1000 : 8000;
+  sspec.interarrival = sim::microseconds(2);
+  sspec.batch_window = sim::microseconds(1);
+  sspec.cache_capacity = cache;
+  sspec.seed = 4242;
+
+  core::Fabric fabric(fspec);
+  std::vector<std::size_t> clients = {0, 1, 2, 3};
+  std::vector<std::size_t> shard_machines;
+  for (std::size_t s = 0; s < n_shards; ++s) shard_machines.push_back(4 + s);
+  serve::ServingJob job(sspec, clients, shard_machines);
+  fabric.add_custom_job({"serve"}, job);
+
+  core::Fabric::StepTensors tensors;
+  if (trainer) {
+    core::JobSpec t;
+    t.name = "trainer";
+    t.config.deterministic_reduction = true;
+    t.worker_machines = {8, 9};
+    t.aggregator_machines = {10};
+    tensors = make_trainer_tensors(smoke ? 65536 : 262144, 77);
+    fabric.add_job(t, tensors);
+  }
+  fabric.run();
+
+  const telemetry::ServeReport& r = job.serve_report();
+  cell.hit_rate = r.hit_rate;
+  cell.finish_ns = static_cast<double>(r.finish);
+  const sim::Time span = r.finish - r.first_issue;
+  cell.qps = span > 0 ? static_cast<double>(r.requests_issued) /
+                            sim::to_seconds(span)
+                      : 0.0;
+  for (const auto& lane : r.lanes) {
+    if (lane.name == "lookup") {
+      cell.lookup_p50 = lane.p50_ns;
+      cell.lookup_p99 = lane.p99_ns;
+      cell.lookup_p999 = lane.p999_ns;
+    } else if (lane.name == "update") {
+      cell.update_p50 = lane.p50_ns;
+      cell.update_p99 = lane.p99_ns;
+      cell.update_p999 = lane.p999_ns;
+    }
+  }
+  if (trainer) {
+    const telemetry::FabricReport report = fabric.report();
+    for (const auto& row : report.jobs) {
+      if (row.name == "trainer") {
+        cell.trainer_finish_ns = static_cast<double>(row.finish);
+      }
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  const std::vector<std::size_t> shard_counts = {1, 2, 4};
+  const std::vector<std::size_t> cache_sizes = {0, 4096, 32768};
+  const std::vector<double> oversubs = {1.0, 8.0};
+
+  std::vector<Cell> cells;
+  std::printf(
+      "serving tail latency (4 clients, Zipf 0.9, 5%% updates; ns)\n");
+  std::printf("%6s %7s %7s %7s %9s %11s %11s %11s %11s\n", "shards", "cache",
+              "ovsub", "train", "hit", "qps", "look p50", "look p99",
+              "look p999");
+  for (const double oversub : oversubs) {
+    for (const std::size_t shards : shard_counts) {
+      for (const std::size_t cache : cache_sizes) {
+        for (const bool trainer : {false, true}) {
+          const Cell c = run_cell(shards, cache, oversub, trainer, smoke);
+          cells.push_back(c);
+          std::printf(
+              "%6zu %7zu %7.0f %7s %9.3f %11.0f %11.0f %11.0f %11.0f\n",
+              c.shards, c.cache, c.oversub, c.trainer ? "yes" : "no",
+              c.hit_rate, c.qps, c.lookup_p50, c.lookup_p99, c.lookup_p999);
+        }
+      }
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    os.precision(15);
+    os << "{\"schema\":\"omnireduce.bench_serving.v1\",\"smoke\":"
+       << (smoke ? "true" : "false") << ",\"cells\":[";
+    for (std::size_t k = 0; k < cells.size(); ++k) {
+      const Cell& c = cells[k];
+      if (k > 0) os << ",";
+      os << "{\"shards\":" << c.shards << ",\"cache\":" << c.cache
+         << ",\"oversubscription\":" << c.oversub
+         << ",\"trainer\":" << (c.trainer ? "true" : "false")
+         << ",\"hit_rate\":" << c.hit_rate << ",\"qps\":" << c.qps
+         << ",\"finish_ns\":" << c.finish_ns
+         << ",\"trainer_finish_ns\":" << c.trainer_finish_ns
+         << ",\"lookup_p50_ns\":" << c.lookup_p50
+         << ",\"lookup_p99_ns\":" << c.lookup_p99
+         << ",\"lookup_p999_ns\":" << c.lookup_p999
+         << ",\"update_p50_ns\":" << c.update_p50
+         << ",\"update_p99_ns\":" << c.update_p99
+         << ",\"update_p999_ns\":" << c.update_p999 << "}";
+    }
+    os << "]}\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -30,10 +30,12 @@ std::uint16_t f32_to_f16(float f) {
   if (abs < 0x38800000u) {
     // Half-subnormal range (< 2^-14): quantize to multiples of 2^-24.
     if (abs < 0x33000000u) return sign;  // < 2^-25 rounds to zero
-    const int shift = 126 - static_cast<int>(abs >> 23);  // in [0, 24]
-    std::uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
-    const std::uint32_t lsb = 1u << (shift + 13);
-    const std::uint32_t rest = mant & (lsb - 1);
+    const int shift = 126 - static_cast<int>(abs >> 23);  // in [14, 24]
+    // 64-bit: shift + 13 reaches 37 for the smallest magnitudes, past the
+    // width of a 32-bit shift.
+    std::uint64_t mant = (abs & 0x007fffffu) | 0x00800000u;
+    const std::uint64_t lsb = std::uint64_t{1} << (shift + 13);
+    const std::uint64_t rest = mant & (lsb - 1);
     mant >>= (shift + 13);
     if (rest > (lsb >> 1) || (rest == (lsb >> 1) && (mant & 1u))) ++mant;
     return static_cast<std::uint16_t>(sign | mant);

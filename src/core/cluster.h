@@ -86,6 +86,54 @@ struct TopologySpec {
   }
 };
 
+/// Shape of a sharded parameter-server serving tier (src/serve) running as
+/// one custom job of a multi-tenant core::Fabric: N PsShard endpoints
+/// answer Zipf(alpha)-skewed embedding lookup/update streams produced by
+/// open-loop clients over a DeepLight-style key space, with per-shard
+/// hot-embedding caching and request batching. Plain data, so it lives in
+/// core next to ClusterSpec; the behavior lives in serve::ServingJob.
+struct ServeSpec {
+  enum class Routing { kHash, kRange };
+  enum class CachePolicy { kLru, kLfu };
+
+  std::size_t n_shards = 4;
+  std::size_t n_clients = 4;
+  /// Embedding rows. DeepLight's Table-1 embedding is ~1e6+ rows; tests
+  /// use a few thousand.
+  std::size_t key_space = std::size_t{1} << 20;
+  /// Embedding row width in floats; lookup responses (and update pushes)
+  /// carry embedding_dim * 4 payload bytes.
+  std::size_t embedding_dim = 64;
+  /// Zipf skew of the key popularity (0 = uniform). Keys are popularity
+  /// ranks: key 0 is the hottest row.
+  double zipf_alpha = 0.9;
+  /// Fraction of requests that are updates (gradient-push writes).
+  double update_fraction = 0.05;
+  std::size_t requests_per_client = 1000;
+  /// Open-loop issue gap: client request r departs at start + r *
+  /// interarrival regardless of responses (a fixed absolute schedule, so
+  /// the arrival stream at the shards is independent of service times —
+  /// which is what makes cache hit counts exactly monotone in capacity).
+  sim::Time interarrival = sim::microseconds(2);
+  /// Shard batching window: requests arriving within batch_window of a
+  /// batch's first request coalesce into one CPU pass. 0 = serve each
+  /// request the moment it arrives (unbatched).
+  sim::Time batch_window = 0;
+  /// Hot-embedding cache entries per shard (0 disables caching).
+  std::size_t cache_capacity = 0;
+  CachePolicy cache_policy = CachePolicy::kLru;
+  Routing routing = Routing::kHash;
+  /// Shard service-time model, ns of shard CPU per request (hit / miss /
+  /// update) plus a fixed per-batch dispatch overhead.
+  double hit_ns = 150.0;
+  double miss_ns = 1200.0;
+  double update_ns = 600.0;
+  double batch_overhead_ns = 500.0;
+  /// Request/response frame header bytes (key, route, transport framing).
+  std::size_t request_bytes = 64;
+  std::uint64_t seed = 1;
+};
+
 /// Everything that describes *where* a collective runs, as one value: the
 /// fabric, the aggregator placement, the accelerator model and the
 /// telemetry switches. Replaces the (FabricConfig, Deployment,

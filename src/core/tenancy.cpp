@@ -471,7 +471,7 @@ int Fabric::add_job(JobSpec spec, StepTensors& tensors) {
   }
 
   auto job = std::make_unique<JobState>();
-  const int index = static_cast<int>(jobs_.size());
+  const int index = next_index_++;
   job->index = index;
   job->tensors = &tensors;
   job->device = &spec_.device;
@@ -619,32 +619,74 @@ int Fabric::add_job(JobSpec spec, StepTensors& tensors) {
   return index;
 }
 
+int Fabric::add_custom_job(const CustomJobSpec& spec, FabricJob& job) {
+  if (ran_) throw std::logic_error("add_custom_job after run");
+  if (spec.name.empty()) {
+    throw std::invalid_argument("custom job needs a name");
+  }
+  if (!(spec.weight > 0.0)) {
+    throw std::invalid_argument("job weight must be positive");
+  }
+  const int index = next_index_++;
+  job.attach(*network_, machine_nics_);
+  if (job.home_machine() >= spec_.n_machines) {
+    throw std::invalid_argument("custom job home machine out of range");
+  }
+  CustomState state;
+  state.spec = spec;
+  state.index = index;
+  state.job = &job;
+  custom_.push_back(std::move(state));
+  return index;
+}
+
 bool Fabric::admitted(int job) const {
   return jobs_.at(static_cast<std::size_t>(job))->admitted;
 }
 
-void Fabric::kickoff(JobState& job) {
-  JobController* controller = job.controller.get();
-  if (job.spec.start_at == 0) {
-    controller->kickoff();
-  } else {
-    network_->simulator().schedule_at(
-        job.spec.start_at, [controller]() { controller->kickoff(); });
+std::vector<Fabric::Kick> Fabric::kickoff_order() {
+  std::vector<Kick> kicks;
+  kicks.reserve(jobs_.size() + custom_.size());
+  for (const auto& job : jobs_) {
+    if (!job->admitted) continue;
+    JobController* controller = job->controller.get();
+    kicks.push_back({job->index, job->controller_machine, job->spec.start_at,
+                     [controller] { controller->kickoff(); }});
   }
+  for (const auto& c : custom_) {
+    FabricJob* job = c.job;
+    kicks.push_back(
+        {c.index, job->home_machine(), c.spec.start_at, [job] { job->kickoff(); }});
+  }
+  // Tenant-index order == add order across both job kinds: the serial
+  // engine fires kickoffs in this order, and the partitioned engine folds
+  // the index into each kickoff's birth rank, replaying the same order.
+  std::sort(kicks.begin(), kicks.end(),
+            [](const Kick& a, const Kick& b) { return a.index < b.index; });
+  return kicks;
 }
 
 void Fabric::run() {
   if (ran_) throw std::logic_error("Fabric::run called twice");
   ran_ = true;
-  if (jobs_.empty()) return;
+  if (jobs_.empty() && custom_.empty()) return;
 
   // Tenant registration: tenant id == job index (rejected jobs keep their
   // id but never send). A single job keeps the single-tenant fast path —
   // links then schedule byte-identically to a plain engine run.
-  std::vector<double> weights;
-  weights.reserve(jobs_.size());
-  for (const auto& job : jobs_) weights.push_back(job->spec.weight);
+  std::vector<double> weights(static_cast<std::size_t>(next_index_), 1.0);
+  for (const auto& job : jobs_) {
+    weights[static_cast<std::size_t>(job->index)] = job->spec.weight;
+  }
+  for (const auto& c : custom_) {
+    weights[static_cast<std::size_t>(c.index)] = c.spec.weight;
+  }
   network_->set_tenants(std::move(weights));
+  for (const auto& c : custom_) {
+    for (net::EndpointId e : c.job->endpoints()) {
+      network_->set_endpoint_tenant(e, c.index);
+    }
+  }
   for (const auto& job : jobs_) {
     if (!job->admitted) continue;
     for (net::EndpointId e : job->worker_eps) {
@@ -672,11 +714,22 @@ void Fabric::run() {
     }
     finish_job(*job);
   }
+  for (const auto& c : custom_) {
+    if (!c.job->done()) {
+      throw std::logic_error("job \"" + c.spec.name +
+                             "\" did not complete (protocol stall)");
+    }
+    c.job->finalize();
+  }
 }
 
 void Fabric::run_serial() {
-  for (const auto& job : jobs_) {
-    if (job->admitted) kickoff(*job);
+  for (const Kick& k : kickoff_order()) {
+    if (k.start_at == 0) {
+      k.fn();
+    } else {
+      simulator_->schedule_at(k.start_at, k.fn);
+    }
   }
   simulator_->run();
 }
@@ -722,26 +775,23 @@ bool Fabric::try_run_partitioned() {
   plan.lookahead = lookahead;
   network_->begin_partitioned(std::move(plan));
 
-  // Kick off every job inside its controller's partition. Kickoffs are
+  // Kick off every job inside its home machine's partition. Kickoffs are
   // born pre-run at time -1 with rank = job index, folding the job id into
   // the commit tie-break — concurrent jobs replay in add order, exactly
   // the serial engine's kickoff order.
-  for (const auto& job : jobs_) {
-    if (!job->admitted) continue;
-    const int p = partition_of_nic[static_cast<std::size_t>(
-        machine_nics_[job->controller_machine])];
+  for (const Kick& k : kickoff_order()) {
+    const int p =
+        partition_of_nic[static_cast<std::size_t>(machine_nics_[k.machine])];
     net::PartitionScope scope(*network_, p);
-    JobController* controller = job->controller.get();
-    const auto rank = static_cast<std::size_t>(job->index);
-    if (job->spec.start_at == 0) {
+    const auto rank = static_cast<std::uint64_t>(k.index);
+    if (k.start_at == 0) {
       net::TriggerRankScope birth(-1, rank);
-      controller->kickoff();
+      k.fn();
     } else {
-      network_->simulator().schedule_at(
-          job->spec.start_at, [controller, rank]() {
-            net::TriggerRankScope birth(-1, rank);
-            controller->kickoff();
-          });
+      network_->simulator().schedule_at(k.start_at, [fn = k.fn, rank]() {
+        net::TriggerRankScope birth(-1, rank);
+        fn();
+      });
     }
   }
 
@@ -811,6 +861,8 @@ telemetry::FabricReport Fabric::report() const {
   out.topology = network_->topology().kind();
   out.n_machines = spec_.n_machines;
   out.switch_slots = spec_.switch_slots;
+  std::vector<std::pair<int, telemetry::FabricJobSummary>> rows;
+  rows.reserve(jobs_.size() + custom_.size());
   for (const auto& job : jobs_) {
     telemetry::FabricJobSummary s;
     s.name = job->spec.name;
@@ -830,11 +882,44 @@ telemetry::FabricReport Fabric::report() const {
     for (const auto& plan : job->steps) {
       s.step_active.push_back(plan.active_count);
     }
-    out.jobs.push_back(std::move(s));
+    rows.emplace_back(job->index, std::move(s));
   }
+  for (const auto& c : custom_) {
+    telemetry::FabricJobSummary s;
+    s.name = c.spec.name;
+    s.kind = c.job->kind();
+    s.admitted = true;
+    s.weight = c.spec.weight;
+    s.start_at = c.spec.start_at;
+    s.finish = c.job->finish_time();
+    // finalize() throws on any invariant violation, so a run that got
+    // this far is verified by construction.
+    s.verified = ran_;
+    rows.emplace_back(c.index, std::move(s));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& row : rows) out.jobs.push_back(std::move(row.second));
 
-  // Per-(link, job) traffic split plus a Jain fairness index over the
+  // Per-(link, tenant) traffic split plus a Jain fairness index over the
   // busiest contended link's weight-normalized bytes.
+  struct TenantRow {
+    int index;
+    const std::string* name;
+    double weight;
+  };
+  std::vector<TenantRow> tenants;
+  tenants.reserve(jobs_.size() + custom_.size());
+  for (const auto& job : jobs_) {
+    tenants.push_back({job->index, &job->spec.name, job->spec.weight});
+  }
+  for (const auto& c : custom_) {
+    tenants.push_back({c.index, &c.spec.name, c.spec.weight});
+  }
+  std::sort(tenants.begin(), tenants.end(),
+            [](const TenantRow& a, const TenantRow& b) {
+              return a.index < b.index;
+            });
   const net::Topology& topo = network_->topology();
   double best_total = 0.0;
   std::vector<double> best_shares;
@@ -842,20 +927,20 @@ telemetry::FabricReport Fabric::report() const {
     const auto id = static_cast<net::LinkId>(l);
     std::vector<double> shares;
     double total = 0.0;
-    for (const auto& job : jobs_) {
-      const net::LinkStats& st = network_->tenant_link_stats(id, job->index);
+    for (const TenantRow& tenant : tenants) {
+      const net::LinkStats& st = network_->tenant_link_stats(id, tenant.index);
       if (st.tx_bytes == 0 && st.tx_messages == 0 &&
           st.dropped_messages == 0) {
         continue;
       }
       telemetry::TenantLinkShare row;
       row.link = topo.link_name(id);
-      row.job = job->spec.name;
+      row.job = *tenant.name;
       row.tx_bytes = st.tx_bytes;
       row.tx_messages = st.tx_messages;
       row.dropped_messages = st.dropped_messages;
       out.link_shares.push_back(std::move(row));
-      shares.push_back(static_cast<double>(st.tx_bytes) / job->spec.weight);
+      shares.push_back(static_cast<double>(st.tx_bytes) / tenant.weight);
       total += static_cast<double>(st.tx_bytes);
     }
     if (shares.size() >= 2 && total > best_total) {
@@ -873,6 +958,7 @@ telemetry::FabricReport Fabric::report() const {
     out.fairness_index =
         (sum * sum) / (static_cast<double>(best_shares.size()) * sum_sq);
   }
+  for (const auto& c : custom_) c.job->fill_report(out);
   return out;
 }
 

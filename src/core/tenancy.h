@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -79,6 +80,50 @@ struct JobSpec {
   bool verify = true;
 };
 
+/// A non-collective tenant of a Fabric — e.g. the src/serve parameter-
+/// server serving tier. Implementations attach their endpoints in
+/// attach(), then drive themselves entirely through Network::send plus
+/// deferred timers that carry net::deferred_trigger_birth keys, so the
+/// conservative parallel engine (OMR_SIM_THREADS) replays them
+/// bit-identically with no special-casing. The Fabric owns scheduling
+/// (kickoff at CustomJobSpec::start_at, inside the home machine's
+/// partition) and tenant attribution (weighted-fair link shares); the job
+/// owns its protocol and telemetry.
+class FabricJob {
+ public:
+  virtual ~FabricJob() = default;
+  /// Job-kind tag for the report's job rows ("serve", ...).
+  virtual const char* kind() const = 0;
+  /// Create and attach this job's endpoints; machine_nics[m] is fabric
+  /// machine m's NIC. Called once, by Fabric::add_custom_job.
+  virtual void attach(net::Network& net,
+                      const std::vector<net::NicId>& machine_nics) = 0;
+  /// Every endpoint attach() created (for tenant attribution).
+  virtual std::vector<net::EndpointId> endpoints() const = 0;
+  /// Machine whose partition executes kickoff().
+  virtual std::size_t home_machine() const = 0;
+  /// Begin the job (invoked at CustomJobSpec::start_at).
+  virtual void kickoff() = 0;
+  /// Whether the job ran to completion once the simulator drained.
+  virtual bool done() const = 0;
+  virtual sim::Time finish_time() const = 0;
+  /// Post-run, single-threaded: verify invariants (throw on violation)
+  /// and bank counters for fill_report().
+  virtual void finalize() = 0;
+  /// Append job-kind sections (e.g. a telemetry::ServeReport) to the
+  /// fabric report. Called after finalize().
+  virtual void fill_report(telemetry::FabricReport& out) const = 0;
+};
+
+/// Fabric-level envelope of a custom job: the tenancy fields a FabricJob
+/// shares with training jobs (name, weighted-fair share, start time). The
+/// job's own shape lives in the FabricJob implementation.
+struct CustomJobSpec {
+  std::string name;
+  double weight = 1.0;
+  sim::Time start_at = 0;
+};
+
 /// Multi-tenant run context: one simulator + one network shared by N
 /// concurrent jobs. Replaces the engine's one-job-per-simulator assumption
 /// for concurrency studies; single-job paths (run_allreduce, Session) are
@@ -116,6 +161,14 @@ class Fabric {
   /// specs (bad machine index, bad membership schedule, size mismatches).
   int add_job(JobSpec spec, StepTensors& tensors);
 
+  /// Register a custom (non-collective) job, e.g. a serve::ServingJob.
+  /// The job must outlive run(); its endpoints are attached immediately.
+  /// Custom jobs use no switch-aggregation slots, so admission never
+  /// rejects them. Returns the job's tenant index — one index space
+  /// shared with add_job, so link shares and kickoff order interleave
+  /// deterministically with training jobs.
+  int add_custom_job(const CustomJobSpec& spec, FabricJob& job);
+
   /// Whether job `job` passed admission.
   bool admitted(int job) const;
 
@@ -138,9 +191,24 @@ class Fabric {
   class WorkerAgent;
   class AggAgent;
 
+  /// One custom (FabricJob) tenant.
+  struct CustomState {
+    CustomJobSpec spec;
+    int index = 0;
+    FabricJob* job = nullptr;
+  };
+  /// One kickoff action, ordered by tenant index across training and
+  /// custom jobs (the index doubles as the pre-run birth rank).
+  struct Kick {
+    int index = 0;
+    std::size_t machine = 0;
+    sim::Time start_at = 0;
+    std::function<void()> fn;
+  };
+
   void run_serial();
   bool try_run_partitioned();
-  void kickoff(JobState& job);
+  std::vector<Kick> kickoff_order();
   void finish_job(JobState& job);  // post-run verify + counter sweep
 
   TenantFabricSpec spec_;
@@ -149,6 +217,8 @@ class Fabric {
   std::vector<net::NicId> machine_nics_;
   innet::SlotPool slot_pool_;
   std::vector<std::unique_ptr<JobState>> jobs_;
+  std::vector<CustomState> custom_;
+  int next_index_ = 0;  // shared tenant-index space (training + custom)
   bool ran_ = false;
 };
 

@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 
 namespace omr::net {
@@ -154,20 +152,6 @@ const NicStats& Network::tenant_external(int tenant) const {
   return static_cast<std::size_t>(tenant) < tenant_external_.size()
              ? tenant_external_[static_cast<std::size_t>(tenant)]
              : kZero;
-}
-
-void Network::add_external_traffic(NicId nic, std::uint64_t tx_bytes,
-                                   std::uint64_t rx_bytes,
-                                   std::uint64_t tx_messages,
-                                   std::uint64_t rx_messages) {
-  static std::once_flag warned;
-  std::call_once(warned, [] {
-    std::fprintf(stderr,
-                 "omnireduce: Network::add_external_traffic is deprecated; "
-                 "use add_tenant_traffic(tenant, ...) to attribute external "
-                 "traffic to a tenant\n");
-  });
-  add_tenant_traffic(0, nic, tx_bytes, rx_bytes, tx_messages, rx_messages);
 }
 
 void Network::add_nic_flap(NicId nic, sim::Time from, sim::Time until) {

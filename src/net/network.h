@@ -199,13 +199,6 @@ class Network {
   /// accumulated), independent of the per-NIC totals.
   const NicStats& tenant_external(int tenant) const;
 
-  /// Deprecated: legacy un-attributed external-traffic hook. Forwards to
-  /// add_tenant_traffic(0, ...) — the degenerate single-link tenant — and
-  /// warns once per process on stderr.
-  void add_external_traffic(NicId nic, std::uint64_t tx_bytes,
-                            std::uint64_t rx_bytes,
-                            std::uint64_t tx_messages = 0,
-                            std::uint64_t rx_messages = 0);
   NicId nic_of(EndpointId ep) const { return endpoints_[ep].nic; }
   std::uint64_t total_dropped() const { return total_dropped_; }
 

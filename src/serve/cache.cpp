@@ -1,0 +1,101 @@
+#include "serve/cache.h"
+
+namespace omr::serve {
+
+EmbeddingCache::EmbeddingCache(Policy policy, std::size_t capacity)
+    : policy_(policy), capacity_(capacity) {
+  nodes_.reserve(capacity_);
+  map_.reserve(capacity_ * 2);
+}
+
+void EmbeddingCache::detach(int i) {
+  Node& n = nodes_[static_cast<std::size_t>(i)];
+  const auto it = buckets_.find(n.freq);
+  Bucket& b = it->second;
+  if (n.prev >= 0) {
+    nodes_[static_cast<std::size_t>(n.prev)].next = n.next;
+  } else {
+    b.head = n.next;
+  }
+  if (n.next >= 0) {
+    nodes_[static_cast<std::size_t>(n.next)].prev = n.prev;
+  } else {
+    b.tail = n.prev;
+  }
+  n.prev = n.next = -1;
+  if (b.head < 0) buckets_.erase(it);
+}
+
+void EmbeddingCache::push_front(std::uint64_t freq, int i) {
+  Node& n = nodes_[static_cast<std::size_t>(i)];
+  n.freq = freq;
+  Bucket& b = buckets_[freq];
+  n.prev = -1;
+  n.next = b.head;
+  if (b.head >= 0) nodes_[static_cast<std::size_t>(b.head)].prev = i;
+  b.head = i;
+  if (b.tail < 0) b.tail = i;
+}
+
+void EmbeddingCache::bump(int i) {
+  const std::uint64_t freq =
+      policy_ == Policy::kLfu ? nodes_[static_cast<std::size_t>(i)].freq + 1
+                              : 0;
+  detach(i);
+  push_front(freq, i);
+}
+
+bool EmbeddingCache::lookup(std::uint64_t key, std::uint32_t* version_out) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  if (version_out != nullptr) {
+    *version_out = nodes_[static_cast<std::size_t>(it->second)].version;
+  }
+  bump(it->second);
+  return true;
+}
+
+void EmbeddingCache::put(std::uint64_t key, std::uint32_t version) {
+  if (capacity_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    nodes_[static_cast<std::size_t>(it->second)].version = version;
+    bump(it->second);
+    return;
+  }
+  if (map_.size() == capacity_) {
+    // Victim: least-recent entry of the minimum frequency bucket.
+    const int victim = buckets_.begin()->second.tail;
+    map_.erase(nodes_[static_cast<std::size_t>(victim)].key);
+    detach(victim);
+    free_.push_back(victim);
+    ++evictions_;
+  }
+  int i;
+  if (!free_.empty()) {
+    i = free_.back();
+    free_.pop_back();
+  } else {
+    i = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& n = nodes_[static_cast<std::size_t>(i)];
+  n.key = key;
+  n.version = version;
+  push_front(policy_ == Policy::kLfu ? 1 : 0, i);
+  map_.emplace(key, i);
+}
+
+std::vector<std::uint64_t> EmbeddingCache::resident_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(map_.size());
+  for (const auto& [freq, bucket] : buckets_) {
+    for (int i = bucket.tail; i >= 0;
+         i = nodes_[static_cast<std::size_t>(i)].prev) {
+      keys.push_back(nodes_[static_cast<std::size_t>(i)].key);
+    }
+  }
+  return keys;
+}
+
+}  // namespace omr::serve

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace omr::serve {
+
+/// Fixed-capacity hot-embedding cache with LRU or LFU eviction, used by
+/// each PsShard as the fast tier over its KV store. Stores only the row's
+/// version — the simulator models bytes and time, not values.
+///
+/// Both policies share one structure: frequency buckets (a std::map from
+/// frequency to an intrusive recency list, MRU at the head). LRU pins
+/// every entry to frequency 0, so there is a single bucket and eviction
+/// takes its tail — textbook LRU, which has the stack (inclusion)
+/// property: for the same access sequence a larger LRU cache holds a
+/// superset of a smaller one, making hit counts exactly monotone in
+/// capacity (the serving torture suite leans on that). LFU increments the
+/// frequency per use and evicts the least-recent entry of the minimum
+/// frequency; it has no inclusion property, so monotonicity is asserted
+/// for LRU only. All operations are O(log #distinct-frequencies) and
+/// fully deterministic (no hash-order iteration).
+class EmbeddingCache {
+ public:
+  using Policy = core::ServeSpec::CachePolicy;
+
+  EmbeddingCache(Policy policy, std::size_t capacity);
+
+  /// Hit test. On a hit: refreshes recency/frequency, writes the cached
+  /// version to `version_out` (if non-null) and returns true. A miss
+  /// changes nothing (fills are the caller's put()).
+  bool lookup(std::uint64_t key, std::uint32_t* version_out = nullptr);
+
+  /// Insert or overwrite `key` (miss fill or write-through update); counts
+  /// as a use. Evicts per policy when full. No-op at capacity 0.
+  void put(std::uint64_t key, std::uint32_t version);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  Policy policy() const { return policy_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Resident keys in eviction order (next victim first). For tests.
+  std::vector<std::uint64_t> resident_keys() const;
+
+ private:
+  struct Node {
+    std::uint64_t key = 0;
+    std::uint32_t version = 0;
+    std::uint64_t freq = 0;
+    int prev = -1;
+    int next = -1;
+  };
+  struct Bucket {
+    int head = -1;  // most recently used
+    int tail = -1;  // eviction end
+  };
+
+  void detach(int i);
+  void push_front(std::uint64_t freq, int i);
+  void bump(int i);
+
+  Policy policy_;
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<int> free_;
+  std::map<std::uint64_t, Bucket> buckets_;
+  std::unordered_map<std::uint64_t, int> map_;
+};
+
+}  // namespace omr::serve

@@ -1,0 +1,36 @@
+#include "serve/shard_map.h"
+
+#include <stdexcept>
+
+namespace omr::serve {
+
+ShardMap::ShardMap(Routing routing, std::size_t n_shards,
+                   std::size_t key_space)
+    : routing_(routing), n_shards_(n_shards), key_space_(key_space) {
+  if (n_shards_ == 0) throw std::invalid_argument("shard map needs shards");
+  if (key_space_ == 0) throw std::invalid_argument("shard map needs keys");
+}
+
+std::uint64_t ShardMap::mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t ShardMap::shard_of(std::uint64_t key) const {
+  if (routing_ == Routing::kHash) {
+    // Multiply-shift map of the hashed key onto [0, n_shards): shard =
+    // floor(h * N / 2^64). Doubling N turns floor(h*N/2^64) = s into
+    // 2s or 2s+1 — the hierarchical-split property.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(mix64(key)) * n_shards_;
+    return static_cast<std::size_t>(m >> 64);
+  }
+  // Range: shard = floor(key * N / key_space); same split property.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(key % key_space_) * n_shards_;
+  return static_cast<std::size_t>(m / key_space_);
+}
+
+}  // namespace omr::serve

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/cluster.h"
+
+namespace omr::serve {
+
+/// Key -> shard routing for the PS serving tier. Both schemes are pure
+/// functions of (routing, n_shards, key_space, key) — the same map on the
+/// client and the shard always agrees — and both are *hierarchical*:
+/// resharding N -> 2N splits shard s into shards {2s, 2s+1} and moves no
+/// key anywhere else (tests/test_serving.cpp pins this), which is what
+/// makes online resharding a pure split with no cross-shard migration.
+///
+/// kHash scatters keys with a splitmix64 finalizer, so Zipf-hot ranks
+/// spread uniformly over shards; kRange keeps contiguous rank ranges
+/// together, so a skewed popularity distribution concentrates load on the
+/// shard owning the hot prefix — the classic routing trade-off the bench
+/// exposes.
+class ShardMap {
+ public:
+  using Routing = core::ServeSpec::Routing;
+
+  ShardMap(Routing routing, std::size_t n_shards, std::size_t key_space);
+
+  std::size_t n_shards() const { return n_shards_; }
+  std::size_t key_space() const { return key_space_; }
+  Routing routing() const { return routing_; }
+
+  /// Shard owning `key` (key < key_space). Always < n_shards().
+  std::size_t shard_of(std::uint64_t key) const;
+
+  /// splitmix64 finalizer — the stationary hash kHash routes with.
+  static std::uint64_t mix64(std::uint64_t x);
+
+ private:
+  Routing routing_;
+  std::size_t n_shards_;
+  std::size_t key_space_;
+};
+
+}  // namespace omr::serve

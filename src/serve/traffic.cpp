@@ -1,0 +1,30 @@
+#include "serve/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace omr::serve {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  if (n_ == 0) throw std::invalid_argument("zipf over an empty key space");
+  if (alpha_ < 0.0) throw std::invalid_argument("zipf alpha must be >= 0");
+  if (alpha_ == 0.0) return;  // uniform: no table
+  cum_.resize(n_);
+  double c = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    c += std::pow(static_cast<double>(i + 1), -alpha_);
+    cum_[i] = c;
+  }
+}
+
+std::uint64_t ZipfGenerator::next(sim::Rng& rng) const {
+  if (cum_.empty()) return rng.next_below(n_);
+  const double u = rng.next_double() * cum_.back();
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cum_.begin());
+  return idx < n_ ? idx : n_ - 1;
+}
+
+}  // namespace omr::serve

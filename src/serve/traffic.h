@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace omr::serve {
+
+/// Deterministic Zipf(alpha) sampler over [0, n): the TrafficGen key-draw
+/// primitive. Exact inverse-CDF over a precomputed cumulative weight table
+/// (O(n) setup, O(log n) per draw), valid for any alpha >= 0 — unlike the
+/// YCSB rejection-free approximation, which is only derived for theta < 1.
+/// Draws rank 0 as the hottest key. alpha = 0 degenerates to uniform via
+/// Rng::next_below (no table). Bit-reproducible: sim::Rng only, and the
+/// table depends only on (n, alpha).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double alpha);
+
+  /// Next key rank in [0, n), consuming exactly one rng draw.
+  std::uint64_t next(sim::Rng& rng) const;
+
+  std::size_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::size_t n_;
+  double alpha_;
+  std::vector<double> cum_;  // empty when uniform
+};
+
+}  // namespace omr::serve

@@ -43,6 +43,54 @@ void write_histogram(std::ostream& os, const Histogram& h) {
   os << "}";
 }
 
+void write_serve_report(std::ostream& os, const ServeReport& r) {
+  os << "{\"schema\":\"omnireduce.serve_report.v1\",\"name\":\"";
+  write_escaped(os, r.name);
+  os << "\",\"spec\":{\"n_shards\":" << r.n_shards
+     << ",\"n_clients\":" << r.n_clients << ",\"key_space\":" << r.key_space
+     << ",\"cache_capacity\":" << r.cache_capacity << ",\"cache_policy\":\"";
+  write_escaped(os, r.cache_policy);
+  os << "\",\"routing\":\"";
+  write_escaped(os, r.routing);
+  os << "\",\"zipf_alpha\":" << r.zipf_alpha
+     << ",\"batch_window_ns\":" << r.batch_window << "}";
+  os << ",\"totals\":{\"requests_issued\":" << r.requests_issued
+     << ",\"responses_received\":" << r.responses_received
+     << ",\"in_flight_at_drain\":" << r.in_flight_at_drain
+     << ",\"lookups\":" << r.lookups << ",\"updates\":" << r.updates
+     << ",\"cache_hits\":" << r.cache_hits
+     << ",\"cache_misses\":" << r.cache_misses
+     << ",\"hit_rate\":" << r.hit_rate
+     << ",\"first_issue_ns\":" << r.first_issue
+     << ",\"finish_ns\":" << r.finish << "}";
+  os << ",\"shards\":[";
+  for (std::size_t i = 0; i < r.shards.size(); ++i) {
+    const ServeShardSummary& s = r.shards[i];
+    if (i > 0) os << ",";
+    os << "{\"shard\":" << s.shard << ",\"requests\":" << s.requests
+       << ",\"lookups\":" << s.lookups << ",\"updates\":" << s.updates
+       << ",\"cache_hits\":" << s.cache_hits
+       << ",\"cache_misses\":" << s.cache_misses
+       << ",\"cache_evictions\":" << s.cache_evictions
+       << ",\"batches\":" << s.batches
+       << ",\"mean_batch_occupancy\":" << s.mean_batch_occupancy
+       << ",\"hot_keys\":" << s.hot_keys << ",\"busy_ns\":" << s.busy_ns
+       << ",\"qps\":" << s.qps << "}";
+  }
+  os << "],\"lanes\":[";
+  for (std::size_t i = 0; i < r.lanes.size(); ++i) {
+    const ServeLatencyLane& lane = r.lanes[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"";
+    write_escaped(os, lane.name);
+    os << "\",\"p50_ns\":" << lane.p50_ns << ",\"p99_ns\":" << lane.p99_ns
+       << ",\"p999_ns\":" << lane.p999_ns << ",\"latency_ns\":";
+    write_histogram(os, lane.latency_ns);
+    os << "}";
+  }
+  os << "]}";
+}
+
 }  // namespace
 
 double RunReport::mean_worker_data_bytes() const {
@@ -184,6 +232,10 @@ void FabricReport::write_json(std::ostream& os) const {
     if (j > 0) os << ",";
     os << "{\"name\":\"";
     write_escaped(os, job.name);
+    if (!job.kind.empty()) {
+      os << "\",\"kind\":\"";
+      write_escaped(os, job.kind);
+    }
     os << "\",\"admitted\":" << (job.admitted ? "true" : "false");
     if (!job.rejection.empty()) {
       os << ",\"rejection\":\"";
@@ -215,7 +267,16 @@ void FabricReport::write_json(std::ostream& os) const {
        << ",\"tx_messages\":" << s.tx_messages
        << ",\"dropped_messages\":" << s.dropped_messages << "}";
   }
-  os << "]}";
+  os << "]";
+  if (!serve.empty()) {
+    os << ",\"serve\":[";
+    for (std::size_t i = 0; i < serve.size(); ++i) {
+      if (i > 0) os << ",";
+      write_serve_report(os, serve[i]);
+    }
+    os << "]";
+  }
+  os << "}";
 }
 
 }  // namespace omr::telemetry

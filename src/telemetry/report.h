@@ -139,9 +139,74 @@ struct TenantLinkShare {
   std::uint64_t dropped_messages = 0;
 };
 
+/// One latency lane of a serving-tier job: a fixed log-spaced histogram of
+/// end-to-end request latencies (ns) plus conservative tail quantiles read
+/// off the bin upper bounds with histogram_quantile — byte-stable across
+/// reruns and engines because the bin layout never depends on the data.
+struct ServeLatencyLane {
+  std::string name;  // "lookup", "lookup_hit", "lookup_miss", "update"
+  Histogram latency_ns;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+};
+
+/// One PS shard's counters inside a ServeReport.
+struct ServeShardSummary {
+  std::size_t shard = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t batches = 0;
+  double mean_batch_occupancy = 0.0;
+  std::uint64_t hot_keys = 0;  // distinct keys written (delta-store size)
+  sim::Time busy_ns = 0;       // shard CPU busy time
+  double qps = 0.0;  // requests / virtual seconds between first arrival
+                     // and last completion (0 when degenerate)
+};
+
+/// Telemetry of one serving-tier job (src/serve): spec echo, conservation
+/// totals (requests_issued == responses_received, in_flight_at_drain == 0
+/// on a clean run — the torture suite asserts both), per-shard counters
+/// and the latency lanes. Serialized inside FabricReport under "serve",
+/// only when a serving job ran, so training-only fabric reports stay
+/// byte-identical to the PR-9 goldens.
+struct ServeReport {
+  std::string name;
+  // --- spec echo (replotting / replay comparison) --------------------------
+  std::size_t n_shards = 0;
+  std::size_t n_clients = 0;
+  std::size_t key_space = 0;
+  std::size_t cache_capacity = 0;
+  std::string cache_policy;  // "lru" / "lfu" / "none"
+  std::string routing;       // "hash" / "range"
+  double zipf_alpha = 0.0;
+  sim::Time batch_window = 0;
+  // --- conservation + cache totals -----------------------------------------
+  std::uint64_t requests_issued = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t in_flight_at_drain = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double hit_rate = 0.0;  // hits / lookups (0 when no lookups)
+  sim::Time first_issue = 0;
+  sim::Time finish = 0;  // last response received at a client
+  std::vector<ServeShardSummary> shards;
+  std::vector<ServeLatencyLane> lanes;
+};
+
 /// One job's outcome inside a multi-tenant core::Fabric run.
 struct FabricJobSummary {
   std::string name;
+  /// Job-kind tag of non-collective (custom) jobs, e.g. "serve".
+  /// Serialized only when non-empty, so training-job rows keep their
+  /// pre-serving byte layout.
+  std::string kind;
   bool admitted = true;
   std::string rejection;  // non-empty when admission failed
   double weight = 1.0;
@@ -172,6 +237,9 @@ struct FabricReport {
   std::vector<FabricJobSummary> jobs;
   std::vector<TenantLinkShare> link_shares;
   double fairness_index = 0.0;
+  /// Serving-tier sections, one per serving job (see ServeReport).
+  /// Serialized only when non-empty.
+  std::vector<ServeReport> serve;
 
   void write_json(std::ostream& os) const;
 };

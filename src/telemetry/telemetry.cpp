@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
+#include <stdexcept>
 
 namespace omr::telemetry {
 
@@ -41,6 +42,43 @@ Histogram Histogram::exponential(double lo, double hi, std::size_t bins) {
   h.bounds.push_back(hi);
   h.counts.assign(h.bounds.size() + 1, 0);  // +1: open-ended top bin
   return h;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.total == 0 && other.bounds.empty()) return;
+  if (bounds.empty()) {
+    *this = other;
+    return;
+  }
+  if (bounds != other.bounds) {
+    throw std::logic_error("Histogram::merge: bin layout mismatch");
+  }
+  if (other.total == 0) return;
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  if (total == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  total += other.total;
+  sum += other.sum;
+}
+
+double histogram_quantile(const Histogram& h, double q) {
+  if (h.total == 0) return 0.0;
+  if (q <= 0.0) return h.min;
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(h.total));
+  if (target < h.total) ++target;  // rank in [1, total]
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    cum += h.counts[i];
+    if (cum >= target) {
+      return i < h.bounds.size() ? h.bounds[i] : h.max;
+    }
+  }
+  return h.max;
 }
 
 void Histogram::add(double v) {

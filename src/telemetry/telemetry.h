@@ -123,8 +123,17 @@ struct Histogram {
 
   static Histogram exponential(double lo, double hi, std::size_t bins);
   void add(double v);
+  /// Fold `other` into this histogram. Requires an identical bin layout
+  /// (or an empty *this, which adopts other's); throws on a mismatch.
+  void merge(const Histogram& other);
   double mean() const { return total > 0 ? sum / static_cast<double>(total) : 0.0; }
 };
+
+/// Conservative quantile estimate from a fixed-bin histogram: the upper
+/// bound of the first bin whose cumulative count reaches ceil(q * total)
+/// (the observed max for the open top bin, the observed min for q <= 0).
+/// Byte-stable because the bounds are fixed at construction. 0 when empty.
+double histogram_quantile(const Histogram& h, double q);
 
 /// The full recorded timeline of one run (or one Session lifetime).
 struct Trace {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "net/message.h"
@@ -256,14 +258,25 @@ TEST(Network, AddTenantTrafficAccumulates) {
   EXPECT_THROW(f.net.add_tenant_traffic(7, nic, 1, 1), std::out_of_range);
 }
 
-TEST(Network, DeprecatedExternalTrafficForwardsToTenantZero) {
-  Fixture f;
-  auto [a, ra] = f.make_node();
-  (void)ra;
-  const NicId nic = f.net.nic_of(a);
-  f.net.add_external_traffic(nic, 40, 60, 1, 1);  // warns once, still works
-  EXPECT_EQ(f.net.nic_stats(nic).tx_bytes, 40u);
-  EXPECT_EQ(f.net.tenant_external(0).rx_bytes, 60u);
+// Removal pin for the deprecated un-attributed external-traffic shim:
+// external traffic must be attributed to a tenant via add_tenant_traffic.
+// The detection idiom makes any reintroduction of the legacy signature a
+// compile-visible failure here.
+template <typename T, typename = void>
+struct has_legacy_external_traffic : std::false_type {};
+template <typename T>
+struct has_legacy_external_traffic<
+    T, std::void_t<decltype(std::declval<T&>().add_external_traffic(
+           std::declval<NicId>(), std::uint64_t{0}, std::uint64_t{0}))>>
+    : std::true_type {};
+
+static_assert(!has_legacy_external_traffic<Network>::value,
+              "Network::add_external_traffic was removed in favor of "
+              "add_tenant_traffic(tenant, ...); do not reintroduce the "
+              "un-attributed legacy hook");
+
+TEST(Network, LegacyExternalTrafficHookStaysRemoved) {
+  EXPECT_FALSE(has_legacy_external_traffic<Network>::value);
 }
 
 TEST(Network, SwitchMulticastIndependentDropsUnderLoss) {

@@ -24,6 +24,59 @@ import time
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+def detect_host_cpus(affinity=None, cpu_count=None):
+    """CPUs actually available to this process.
+
+    Prefers the scheduler affinity mask (respects cgroup and taskset
+    limits, which os.cpu_count() ignores) and falls back to
+    os.cpu_count() when affinity detection is unavailable or fails, and
+    to 1 when even that returns nothing.
+    """
+    affinity = affinity if affinity is not None else getattr(
+        os, "sched_getaffinity", None)
+    cpu_count = cpu_count if cpu_count is not None else os.cpu_count
+    if affinity is not None:
+        try:
+            n = len(affinity(0))
+            if n > 0:
+                return n
+        except OSError:
+            pass
+    return cpu_count() or 1
+
+
+def self_test() -> int:
+    """Unit checks for detect_host_cpus with injected fakes."""
+    checks = [
+        ("real detection returns a positive count",
+         detect_host_cpus() >= 1),
+        ("affinity mask wins",
+         detect_host_cpus(affinity=lambda pid: {0, 1, 2},
+                          cpu_count=lambda: 64) == 3),
+        ("failing affinity falls back to cpu_count",
+         detect_host_cpus(affinity=_raise_oserror,
+                          cpu_count=lambda: 8) == 8),
+        ("empty affinity mask falls back to cpu_count",
+         detect_host_cpus(affinity=lambda pid: set(),
+                          cpu_count=lambda: 8) == 8),
+        ("undetectable host defaults to 1",
+         detect_host_cpus(affinity=_raise_oserror,
+                          cpu_count=lambda: None) == 1),
+    ]
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"{'ok  ' if ok else 'FAIL'} {name}")
+    if failed:
+        print(f"{len(failed)} self-test check(s) failed")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def _raise_oserror(pid):
+    raise OSError("no affinity support")
+
+
 # Sweep-heavy benches on the grid harness (bench::Sweep / the runner).
 DEFAULT_BENCHES = [
     "bench_fig04_allreduce_time",
@@ -74,7 +127,7 @@ def run_bench(exe: str, jobs: int, mb: float, report_path: str,
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+    ap.add_argument("--jobs", type=int, default=detect_host_cpus(),
                     help="parallel job count to compare against serial")
     ap.add_argument("--sim-threads", type=int, default=1,
                     help="OMR_SIM_THREADS for every run (the intra-run "
@@ -86,7 +139,12 @@ def main() -> int:
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--skip-build", action="store_true")
     ap.add_argument("--out", default="BENCH_parallel.json")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the CPU-detection unit checks and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     benches = args.bench or DEFAULT_BENCHES
     build_dir = args.build_dir
@@ -99,7 +157,7 @@ def main() -> int:
     # wall-clock ratios measure scheduler noise plus synchronization
     # overhead, not speedup. Keep the correctness byte-compare but skip
     # the speedup numbers and stamp the reason into the report.
-    host_cpus = os.cpu_count() or 1
+    host_cpus = detect_host_cpus()
     single_cpu = host_cpus <= 1
     if single_cpu:
         print("host has 1 CPU: recording correctness only, "
